@@ -1,0 +1,30 @@
+//! Criterion bench: trace-replay cost of the three CC policies on one
+//! Figure 9 trace (how expensive each decision rule is, independent of
+//! abort rates).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rococo_cc::{run_policy, Rococo, Tocc, TwoPhaseLocking};
+use rococo_trace::{eigen_trace, EigenConfig};
+
+fn bench(c: &mut Criterion) {
+    let trace = eigen_trace(
+        &EigenConfig {
+            accesses: 16,
+            transactions: 500,
+            ..EigenConfig::default()
+        },
+        7,
+    );
+    c.bench_function("cc/2pl", |b| {
+        b.iter(|| black_box(run_policy(&mut TwoPhaseLocking::new(), black_box(&trace), 16)))
+    });
+    c.bench_function("cc/tocc", |b| {
+        b.iter(|| black_box(run_policy(&mut Tocc::new(), black_box(&trace), 16)))
+    });
+    c.bench_function("cc/rococo_w64", |b| {
+        b.iter(|| black_box(run_policy(&mut Rococo::with_window(64), black_box(&trace), 16)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

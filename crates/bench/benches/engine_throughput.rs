@@ -1,0 +1,31 @@
+//! Criterion bench: end-to-end validation-engine throughput — the
+//! Detector's per-address signature queries plus the Manager's matrix
+//! work, per request (the software cost that one FPGA clock cycle
+//! replaces).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rococo_fpga::{EngineConfig, ValidateRequest, ValidationEngine};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for &addrs in &[4usize, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("process", addrs), &addrs, |b, &n| {
+            let mut engine = ValidationEngine::new(EngineConfig::default());
+            let mut i = 0u64;
+            b.iter(|| {
+                let req = ValidateRequest {
+                    tx_id: i,
+                    valid_ts: engine.next_seq(),
+                    read_addrs: (0..n as u64 / 2).map(|j| 1_000_000 + i * 512 + j).collect(),
+                    write_addrs: (0..n as u64 / 2).map(|j| 9_000_000 + i * 512 + j).collect(),
+                };
+                i += 1;
+                black_box(engine.process(&req))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: the ROCoCo manager's core operation — validate a
+//! candidate against a full W = 64 reachability matrix and commit it
+//! (Figure 4's datapath, which the FPGA does in O(1) cycles and we do in
+//! O(W) word operations).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rococo_core::{DepVec, ReachMatrix, RococoValidator, TxnDeps};
+
+fn full_matrix(w: usize) -> ReachMatrix {
+    let mut m = ReachMatrix::new(w);
+    for i in 0..w {
+        let mut b = DepVec::new(w);
+        if i > 0 {
+            b.set(i - 1);
+        }
+        let c = m.validate(&DepVec::new(w), &b).unwrap();
+        m.commit(&c);
+    }
+    m
+}
+
+fn bench(c: &mut Criterion) {
+    for w in [16usize, 64, 128] {
+        let m = full_matrix(w);
+        let mut f = DepVec::new(w);
+        let mut b = DepVec::new(w);
+        f.set(w - 2);
+        b.set(1);
+        c.bench_function(&format!("matrix/validate_w{w}"), |bch| {
+            bch.iter(|| black_box(m.validate(black_box(&f), black_box(&b))));
+        });
+    }
+
+    c.bench_function("validator/commit_cycle_w64", |bch| {
+        let mut v: RococoValidator<()> = RococoValidator::new(64);
+        let mut seq = 0u64;
+        bch.iter(|| {
+            let deps = TxnDeps {
+                snapshot: seq,
+                forward: vec![],
+                backward: if seq > 0 { vec![seq - 1] } else { vec![] },
+            };
+            seq = v.validate_and_commit(black_box(&deps), ()).unwrap();
+            seq += 1;
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: bloom-signature hot-path operations (insert, query,
+//! union, partitioned intersection) at the paper's m = 512, k = 8 design
+//! point — the CPU-side cost Algorithm 1 pays per transactional read.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rococo_sigs::SigScheme;
+
+fn bench(c: &mut Criterion) {
+    let scheme = SigScheme::paper_default();
+    let full = scheme.sig_of((0..8u64).map(|i| i * 977));
+    let other = scheme.sig_of((0..8u64).map(|i| i * 991 + 5));
+
+    c.bench_function("sig/insert", |b| {
+        let mut sig = scheme.new_sig();
+        let mut i = 0u64;
+        b.iter(|| {
+            scheme.insert(&mut sig, black_box(i));
+            i = i.wrapping_add(0x9e3779b9);
+        });
+    });
+    c.bench_function("sig/query_hit", |b| {
+        b.iter(|| black_box(scheme.query(&full, black_box(977 * 3))));
+    });
+    c.bench_function("sig/query_miss", |b| {
+        b.iter(|| black_box(scheme.query(&full, black_box(123_456_789))));
+    });
+    c.bench_function("sig/union", |b| {
+        let mut acc = scheme.new_sig();
+        b.iter(|| acc.union_with(black_box(&other)));
+    });
+    c.bench_function("sig/sets_may_intersect", |b| {
+        b.iter(|| black_box(scheme.sets_may_intersect(black_box(&full), black_box(&other))));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: single-threaded TM operation costs across runtimes —
+//! the per-access bookkeeping overhead the paper's section 6.3 discusses
+//! (1-thread penalty of out-of-core validation, metadata costs).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rococo_stm::{atomically, RococoTm, SeqTm, TinyStm, TmConfig, TmSystem, Transaction, TsxHtm};
+
+fn bench_system<S: TmSystem>(c: &mut Criterion, name: &str, tm: &S) {
+    c.bench_function(&format!("stm/{name}/rw_txn"), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            atomically(tm, 0, |tx| {
+                let v = tx.read(i % 512)?;
+                tx.write((i + 1) % 512, v + 1)
+            });
+            i += 1;
+        });
+    });
+    c.bench_function(&format!("stm/{name}/ro_txn"), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let v = atomically(tm, 0, |tx| tx.read(i % 512));
+            i += 1;
+            black_box(v)
+        });
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = TmConfig {
+        heap_words: 4096,
+        max_threads: 1,
+    };
+    bench_system(c, "seq", &SeqTm::with_config(cfg));
+    bench_system(c, "tinystm", &TinyStm::with_config(cfg));
+    bench_system(c, "tsx", &TsxHtm::with_config(cfg));
+    bench_system(c, "rococotm", &RococoTm::with_config(cfg));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Ablation — signature geometry on the FPGA detector.
+//!
+//! The detector sees only bloom signatures of the committed window, so
+//! undersized signatures inflate the dependency vectors with false
+//! positives and cause avoidable cycle aborts. This ablation replays the
+//! same address-level workload through the `ValidationEngine` at several
+//! signature widths and compares against the exact (graph-level) ROCoCo
+//! decision, isolating the abort inflation attributable to signature
+//! aliasing — the paper's section 6.5 observation that going beyond 512
+//! bits buys "no noteworthy improvement".
+
+use rococo_bench::{banner, pct, Table};
+use rococo_cc::{run_policy, Rococo};
+use rococo_fpga::{EngineConfig, ValidateRequest, ValidationEngine};
+use rococo_sigs::SigScheme;
+use rococo_trace::{eigen_trace, EigenConfig};
+
+fn main() {
+    banner("Ablation: signature width vs FPGA abort inflation");
+
+    let cfg = EigenConfig {
+        accesses: 16,
+        transactions: 800,
+        ..EigenConfig::default()
+    };
+    let seeds = 10u64;
+    let concurrency = 16usize;
+
+    // Exact baseline: the graph-level ROCoCo policy.
+    let mut exact_aborts = 0usize;
+    let mut total = 0usize;
+    for seed in 0..seeds {
+        let trace = eigen_trace(&cfg, seed);
+        let r = run_policy(&mut Rococo::with_window(64), &trace, concurrency);
+        exact_aborts += r.stats.aborted();
+        total += r.stats.total;
+    }
+    let exact_rate = exact_aborts as f64 / total as f64;
+    println!("exact (address-precise) ROCoCo abort rate: {}", pct(exact_rate));
+    println!();
+
+    let mut table = Table::new(["m bits", "k", "engine abort rate", "inflation vs exact"]);
+    for (m, k) in [(128usize, 8usize), (256, 8), (512, 8), (1024, 8)] {
+        let mut aborts = 0usize;
+        let mut n = 0usize;
+        for seed in 0..seeds {
+            let trace = eigen_trace(&cfg, seed);
+            let mut engine = ValidationEngine::new(EngineConfig {
+                window: 64,
+                scheme: SigScheme::new(m, k),
+            });
+            // Replay with the same visibility rule as the cc engine: a
+            // transaction's snapshot excludes the last `concurrency`
+            // arrivals; committed seqs map 1:1 because the engine only
+            // counts commits.
+            let mut commit_seq_of_arrival: Vec<Option<u64>> = vec![None; trace.len()];
+            for (arrival, txn) in trace.iter().enumerate() {
+                let snap_arrival = arrival.saturating_sub(concurrency);
+                let valid_ts = commit_seq_of_arrival[..snap_arrival]
+                    .iter()
+                    .flatten()
+                    .max()
+                    .map(|&s| s + 1)
+                    .unwrap_or(0);
+                let verdict = engine.process(&ValidateRequest {
+                    tx_id: arrival as u64,
+                    valid_ts,
+                    read_addrs: txn.read_set(),
+                    write_addrs: txn.write_set(),
+                });
+                match verdict {
+                    rococo_fpga::FpgaVerdict::Commit { seq } => {
+                        commit_seq_of_arrival[arrival] = Some(seq);
+                    }
+                    _ => aborts += 1,
+                }
+                n += 1;
+            }
+        }
+        let rate = aborts as f64 / n as f64;
+        table.row([
+            m.to_string(),
+            k.to_string(),
+            pct(rate),
+            format!("{:+.1}pp", (rate - exact_rate) * 100.0),
+        ]);
+    }
+    table.print();
+    println!();
+    println!(
+        "expected shape: inflation shrinks as m grows and is already negligible \
+         at m = 512 — the paper found no noteworthy abort improvement from \
+         1024-bit signatures, which also cost clock frequency."
+    );
+}

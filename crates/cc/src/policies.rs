@@ -1,0 +1,418 @@
+//! The concurrency-control policies compared in Figure 9.
+
+use crate::engine::{intersects, AbortReason, Decision, TxnView};
+use rococo_core::{RejectReason, RococoValidator, TxnDeps};
+
+/// A concurrency-control policy replayed by
+/// [`run_policy`](crate::run_policy).
+pub trait CcPolicy {
+    /// Human-readable policy name (used by the Figure 9 harness).
+    fn name(&self) -> &'static str;
+
+    /// Clears all internal state before a fresh replay.
+    fn reset(&mut self);
+
+    /// Decides the fate of the next transaction in arrival order.
+    fn decide(&mut self, view: &TxnView<'_>) -> Decision;
+}
+
+/// Two-phase locking (pessimistic CC, section 2.2).
+///
+/// An object locked by a transaction's execution phase cannot be accessed by
+/// another transaction until the commit phase releases it. In the replay
+/// model a transaction therefore aborts (standing in for "blocked or
+/// aborted") whenever its footprint conflicts — read-write, write-read or
+/// write-write — with any *concurrent* committed transaction (one whose
+/// updates it cannot see yet, i.e. within the last `T` arrivals).
+#[derive(Debug, Clone, Default)]
+pub struct TwoPhaseLocking {
+    _priv: (),
+}
+
+impl TwoPhaseLocking {
+    /// Creates a 2PL policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CcPolicy for TwoPhaseLocking {
+    fn name(&self) -> &'static str {
+        "2PL"
+    }
+
+    fn reset(&mut self) {}
+
+    fn decide(&mut self, view: &TxnView<'_>) -> Decision {
+        let reads = view.txn.read_set();
+        let writes = view.txn.write_set();
+        for c in view.unobserved_commits() {
+            let rw = intersects(&reads, &c.writes);
+            let wr = intersects(&writes, &c.reads);
+            let ww = intersects(&writes, &c.writes);
+            if rw || wr || ww {
+                return Decision::Abort(AbortReason::LockConflict);
+            }
+        }
+        Decision::Commit
+    }
+}
+
+/// Timestamp-ordered OCC with commit-time (LSA-style) timestamps — the
+/// paper's TOCC baseline (TinySTM's algorithm family, section 2.3).
+///
+/// A transaction acquires its timestamp at validation, so it can serialise
+/// after every transaction already committed — *except* when it read a
+/// version some unobserved commit overwrote. That forward `→rw` edge would
+/// require ordering the candidate *before* an older timestamp, which strict
+/// serializability forbids (the phantom ordering of section 3.1): abort.
+#[derive(Debug, Clone, Default)]
+pub struct Tocc {
+    _priv: (),
+}
+
+impl Tocc {
+    /// Creates a TOCC policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CcPolicy for Tocc {
+    fn name(&self) -> &'static str {
+        "TOCC"
+    }
+
+    fn reset(&mut self) {}
+
+    fn decide(&mut self, view: &TxnView<'_>) -> Decision {
+        let reads = view.txn.read_set();
+        for c in view.unobserved_commits() {
+            if intersects(&reads, &c.writes) {
+                return Decision::Abort(AbortReason::StaleRead);
+            }
+        }
+        Decision::Commit
+    }
+}
+
+/// Backward OCC (BOCC, section 2.3): at validation, the candidate compares
+/// its read set against the write sets of transactions that committed during
+/// its execution and aborts on overlap.
+///
+/// In the replay model "committed during execution" is exactly the set of
+/// unobserved commits, so BOCC makes the same decisions as [`Tocc`]; it is
+/// kept as a separate named policy so harnesses can report it and tests can
+/// assert the equivalence.
+#[derive(Debug, Clone, Default)]
+pub struct Bocc {
+    inner: Tocc,
+}
+
+impl Bocc {
+    /// Creates a BOCC policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CcPolicy for Bocc {
+    fn name(&self) -> &'static str {
+        "BOCC"
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn decide(&mut self, view: &TxnView<'_>) -> Decision {
+        self.inner.decide(view)
+    }
+}
+
+/// Forward OCC (FOCC, section 2.3): a committing transaction broadcasts its
+/// write set and aborts active readers of those objects.
+///
+/// Replayed in arrival order, a transaction has been "doomed" by an earlier
+/// commit exactly when its read set overlaps the write set of an unobserved
+/// commit — again the same decision rule as [`Tocc`], with the abort charged
+/// to the victim at its own decision point.
+#[derive(Debug, Clone, Default)]
+pub struct Focc {
+    inner: Tocc,
+}
+
+impl Focc {
+    /// Creates a FOCC policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CcPolicy for Focc {
+    fn name(&self) -> &'static str {
+        "FOCC"
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn decide(&mut self, view: &TxnView<'_>) -> Decision {
+        self.inner.decide(view)
+    }
+}
+
+/// The ROCoCo policy (section 4): validate acyclicity of `→rw` with the
+/// reachability matrix instead of a timestamp order.
+///
+/// Forward edges (reads of versions that unobserved commits overwrote) do
+/// not abort the candidate by themselves; only a genuine cycle — or a
+/// snapshot that slid out of the `W`-transaction window — does.
+#[derive(Debug, Clone)]
+pub struct Rococo {
+    window: usize,
+    validator: RococoValidator<usize>,
+}
+
+impl Rococo {
+    /// Creates a ROCoCo policy with the given sliding-window capacity
+    /// (the paper's hardware uses `W = 64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn with_window(window: usize) -> Self {
+        Self {
+            window,
+            validator: RococoValidator::new(window),
+        }
+    }
+
+    /// Window capacity.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Default for Rococo {
+    fn default() -> Self {
+        Self::with_window(64)
+    }
+}
+
+impl CcPolicy for Rococo {
+    fn name(&self) -> &'static str {
+        "ROCoCo"
+    }
+
+    fn reset(&mut self) {
+        self.validator = RococoValidator::new(self.window);
+    }
+
+    fn decide(&mut self, view: &TxnView<'_>) -> Decision {
+        let reads = view.txn.read_set();
+        let writes = view.txn.write_set();
+        let snapshot = view.snapshot_seq();
+
+        let mut deps = TxnDeps {
+            snapshot,
+            forward: Vec::new(),
+            backward: Vec::new(),
+        };
+
+        // Only commits still inside the validator's window can carry edges
+        // it tracks; older backward edges are satisfied by construction and
+        // older forward edges are ruled out by the snapshot check. The
+        // committed list's position IS the commit sequence, so the window
+        // is a suffix slice.
+        let oldest = self.validator.oldest_seq().unwrap_or(0) as usize;
+        for c in view.committed.iter().skip(oldest) {
+            let seq = c.commit_index as u64;
+            let observed = (c.arrival) < view.snapshot_arrival || seq < snapshot;
+            let c_wrote_my_read = intersects(&c.writes, &reads);
+            let i_write_their_read = intersects(&writes, &c.reads);
+            let ww = intersects(&writes, &c.writes);
+
+            if c_wrote_my_read {
+                if observed {
+                    deps.backward.push(seq); // read-after-write: c -> t
+                } else {
+                    deps.forward.push(seq); // t read the version c replaced
+                }
+            }
+            if i_write_their_read || ww {
+                deps.backward.push(seq); // c -> t (WAR / WAW in commit order)
+            }
+        }
+
+        match self.validator.validate_and_commit(&deps, view.arrival) {
+            Ok(_seq) => Decision::Commit,
+            Err(RejectReason::Cycle) => Decision::Abort(AbortReason::Cycle),
+            Err(RejectReason::WindowOverflow) => Decision::Abort(AbortReason::WindowOverflow),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_policy;
+    use rococo_core::order::rw_graph;
+    use rococo_trace::{eigen_trace, EigenConfig, Op, TxnTrace};
+
+    fn txn(reads: &[u64], writes: &[u64]) -> TxnTrace {
+        TxnTrace {
+            ops: reads
+                .iter()
+                .map(|&a| Op::Read(a))
+                .chain(writes.iter().map(|&a| Op::Write(a)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn twopl_aborts_on_any_conflict() {
+        // arrival 0 commits writing 5; arrival 1 (concurrent, T=4) writes 5.
+        let trace = vec![txn(&[], &[5]), txn(&[], &[5])];
+        let r = run_policy(&mut TwoPhaseLocking::new(), &trace, 4);
+        assert_eq!(r.stats.committed, 1);
+        assert_eq!(r.stats.aborts[&AbortReason::LockConflict], 1);
+    }
+
+    #[test]
+    fn tocc_allows_blind_overwrite_but_not_stale_read() {
+        // Blind write-write: TOCC commits (no read involved)...
+        let trace = vec![txn(&[], &[5]), txn(&[], &[5])];
+        let r = run_policy(&mut Tocc::new(), &trace, 4);
+        assert_eq!(r.stats.committed, 2);
+        // ...but a stale read aborts.
+        let trace = vec![txn(&[], &[5]), txn(&[5], &[6])];
+        let r = run_policy(&mut Tocc::new(), &trace, 4);
+        assert_eq!(r.stats.committed, 1);
+        assert_eq!(r.stats.aborts[&AbortReason::StaleRead], 1);
+    }
+
+    #[test]
+    fn rococo_commits_the_phantom_ordering_case() {
+        // t0 writes x concurrently with t1 reading x's old version and
+        // writing y: serialisable as t1 -> t0, which timestamps forbid.
+        let trace = vec![txn(&[], &[5]), txn(&[5], &[6])];
+        let tocc = run_policy(&mut Tocc::new(), &trace, 4);
+        let roc = run_policy(&mut Rococo::with_window(64), &trace, 4);
+        assert_eq!(tocc.stats.committed, 1, "TOCC aborts the stale reader");
+        assert_eq!(roc.stats.committed, 2, "ROCoCo reorders and commits both");
+    }
+
+    #[test]
+    fn rococo_aborts_true_cycles() {
+        // Write skew between concurrent transactions: t0 reads y writes x,
+        // t1 reads x writes y. t0 commits; t1 must abort under every
+        // serializability-preserving policy.
+        let trace = vec![txn(&[1], &[0]), txn(&[0], &[1])];
+        let r = run_policy(&mut Rococo::with_window(64), &trace, 4);
+        assert_eq!(r.stats.committed, 1);
+        assert_eq!(r.stats.aborts[&AbortReason::Cycle], 1);
+    }
+
+    #[test]
+    fn bocc_focc_match_tocc() {
+        let trace = eigen_trace(
+            &EigenConfig {
+                accesses: 16,
+                transactions: 400,
+                ..EigenConfig::default()
+            },
+            17,
+        );
+        let t = run_policy(&mut Tocc::new(), &trace, 16);
+        let b = run_policy(&mut Bocc::new(), &trace, 16);
+        let f = run_policy(&mut Focc::new(), &trace, 16);
+        assert_eq!(t.decisions, b.decisions);
+        assert_eq!(t.decisions, f.decisions);
+    }
+
+    #[test]
+    fn abort_rate_ordering_holds_on_microbenchmark() {
+        for n in [8usize, 16, 24] {
+            let trace = eigen_trace(
+                &EigenConfig {
+                    accesses: n,
+                    transactions: 600,
+                    ..EigenConfig::default()
+                },
+                99 + n as u64,
+            );
+            let pl = run_policy(&mut TwoPhaseLocking::new(), &trace, 16);
+            let to = run_policy(&mut Tocc::new(), &trace, 16);
+            let ro = run_policy(&mut Rococo::with_window(64), &trace, 16);
+            assert!(
+                ro.stats.abort_rate() <= to.stats.abort_rate(),
+                "N={n}: rococo {} > tocc {}",
+                ro.stats.abort_rate(),
+                to.stats.abort_rate()
+            );
+            assert!(
+                to.stats.abort_rate() <= pl.stats.abort_rate(),
+                "N={n}: tocc {} > 2pl {}",
+                to.stats.abort_rate(),
+                pl.stats.abort_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn all_policies_produce_serializable_histories() {
+        let trace = eigen_trace(
+            &EigenConfig {
+                accesses: 20,
+                transactions: 300,
+                ..EigenConfig::default()
+            },
+            5,
+        );
+        let policies: Vec<Box<dyn CcPolicy>> = vec![
+            Box::new(TwoPhaseLocking::new()),
+            Box::new(Tocc::new()),
+            Box::new(Rococo::with_window(64)),
+            Box::new(Rococo::with_window(16)),
+        ];
+        for mut p in policies {
+            let r = run_policy(p.as_mut(), &trace, 16);
+            let g = rw_graph(&r.committed_footprints);
+            assert!(
+                g.is_acyclic(),
+                "{} committed a non-serializable history",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn small_window_overflows_under_high_concurrency() {
+        // T > W: snapshots can predate the window, forcing overflow aborts.
+        let trace = eigen_trace(
+            &EigenConfig {
+                accesses: 4,
+                transactions: 500,
+                ..EigenConfig::default()
+            },
+            21,
+        );
+        let r = run_policy(&mut Rococo::with_window(8), &trace, 32);
+        assert!(
+            r.stats.aborts.contains_key(&AbortReason::WindowOverflow),
+            "expected some window-overflow aborts: {:?}",
+            r.stats.aborts
+        );
+    }
+
+    #[test]
+    fn policy_reset_clears_state() {
+        let trace = eigen_trace(&EigenConfig::default(), 2);
+        let mut p = Rococo::with_window(64);
+        let a = run_policy(&mut p, &trace, 16);
+        let b = run_policy(&mut p, &trace, 16);
+        assert_eq!(a.decisions, b.decisions, "reset must make runs identical");
+    }
+}

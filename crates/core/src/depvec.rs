@@ -1,0 +1,239 @@
+//! Bit vectors over window slots (the `f`, `b`, `p`, `s` vectors of Fig. 4).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A bit vector indexed by window slot, used for the adjacency vectors `f`
+/// and `b` and the closure vectors `p` and `s` of the ROCoCo algorithm.
+///
+/// The capacity is fixed at construction (the window size `W`); all binary
+/// operations require equal capacities.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DepVec {
+    bits: usize,
+    words: Vec<u64>,
+}
+
+impl DepVec {
+    /// Creates an all-zero vector over `bits` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`.
+    pub fn new(bits: usize) -> Self {
+        assert!(bits > 0, "DepVec must have at least one slot");
+        Self {
+            bits,
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    /// Capacity in slots.
+    pub fn capacity(&self) -> usize {
+        self.bits
+    }
+
+    /// Sets slot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.bits, "slot {i} out of range {}", self.bits);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears slot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity`.
+    #[inline]
+    pub fn unset(&mut self, i: usize) {
+        assert!(i < self.bits, "slot {i} out of range {}", self.bits);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Reads slot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.bits, "slot {i} out of range {}", self.bits);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Whether every slot is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set slots.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Clears all slots.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// In-place OR (`self |= other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on capacity mismatch.
+    pub fn or_with(&mut self, other: &DepVec) {
+        assert_eq!(self.bits, other.bits, "DepVec capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Whether `self & other` is non-zero — the cycle-detection test
+    /// `p ∧ s ≠ 0` of Figure 4(a).
+    ///
+    /// # Panics
+    ///
+    /// Panics on capacity mismatch.
+    pub fn intersects(&self, other: &DepVec) -> bool {
+        assert_eq!(self.bits, other.bits, "DepVec capacity mismatch");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Shifts the vector one slot towards zero (slot 0 falls off), modelling
+    /// the register shift when the sliding window evicts its oldest
+    /// transaction.
+    pub fn shift_down(&mut self) {
+        let n = self.words.len();
+        for i in 0..n {
+            let carry = if i + 1 < n { self.words[i + 1] << 63 } else { 0 };
+            self.words[i] = (self.words[i] >> 1) | carry;
+        }
+        // Mask off any bit that may have been shifted past the capacity.
+        self.mask_tail();
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.bits % 64;
+        if rem != 0 {
+            let last = self.words.len() - 1;
+            self.words[last] &= (1u64 << rem) - 1;
+        }
+    }
+
+    /// Iterates the indices of set slots in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Raw word view.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl fmt::Debug for DepVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DepVec{{")?;
+        let mut first = true;
+        for i in self.iter_ones() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+            first = false;
+        }
+        write!(f, "}}/{}", self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = DepVec::new(100);
+        for i in [0usize, 1, 63, 64, 65, 99] {
+            assert!(!v.get(i));
+            v.set(i);
+            assert!(v.get(i));
+        }
+        assert_eq!(v.count_ones(), 6);
+        v.unset(64);
+        assert!(!v.get(64));
+    }
+
+    #[test]
+    fn intersects_and_or() {
+        let mut a = DepVec::new(64);
+        let mut b = DepVec::new(64);
+        a.set(3);
+        b.set(7);
+        assert!(!a.intersects(&b));
+        a.or_with(&b);
+        assert!(a.intersects(&b));
+        assert!(a.get(3) && a.get(7));
+    }
+
+    #[test]
+    fn shift_down_drops_slot_zero() {
+        let mut v = DepVec::new(130);
+        v.set(0);
+        v.set(64);
+        v.set(129);
+        v.shift_down();
+        assert!(!v.get(0));
+        assert!(v.get(63), "bit 64 must move to 63");
+        assert!(v.get(128), "bit 129 must move to 128");
+        assert!(!v.get(129));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn shift_down_of_slot_one_lands_on_zero() {
+        let mut v = DepVec::new(64);
+        v.set(1);
+        v.shift_down();
+        assert!(v.get(0));
+        assert_eq!(v.count_ones(), 1);
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut v = DepVec::new(200);
+        for i in [5usize, 64, 70, 199] {
+            v.set(i);
+        }
+        let ones: Vec<_> = v.iter_ones().collect();
+        assert_eq!(ones, vec![5, 64, 70, 199]);
+    }
+
+    #[test]
+    fn debug_format_lists_bits() {
+        let mut v = DepVec::new(8);
+        v.set(2);
+        assert_eq!(format!("{v:?}"), "DepVec{2}/8");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        DepVec::new(10).set(10);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests: the ROCoCo validator against a brute-force oracle.
+//!
+//! The oracle maintains the *full* dependency graph over every committed
+//! transaction (never forgetting evicted ones, and adding the strict
+//! edges `evicted → future` the sliding window imposes). Soundness:
+//! whenever the validator admits a transaction, the oracle graph must
+//! remain acyclic.
+
+use proptest::prelude::*;
+use rococo_core::order::DiGraph;
+use rococo_core::{RejectReason, RococoValidator, TxnDeps};
+
+/// One randomly-shaped candidate: which recent commits it precedes /
+/// succeeds, as offsets from the newest commit.
+#[derive(Debug, Clone)]
+struct Candidate {
+    snapshot_back: u64,
+    forward_back: Vec<u64>,
+    backward_back: Vec<u64>,
+}
+
+fn candidate() -> impl Strategy<Value = Candidate> {
+    (
+        0u64..6,
+        prop::collection::vec(0u64..8, 0..3),
+        prop::collection::vec(0u64..12, 0..4),
+    )
+        .prop_map(|(snapshot_back, forward_back, backward_back)| Candidate {
+            snapshot_back,
+            forward_back,
+            backward_back,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn validator_is_sound_under_random_histories(
+        window in 2usize..10,
+        cands in prop::collection::vec(candidate(), 1..60),
+    ) {
+        let mut v: RococoValidator<()> = RococoValidator::new(window);
+        // Oracle: global graph over commit sequence numbers. Node i is
+        // commit seq i; extra strict edges evicted -> all later commits.
+        let cap = cands.len() + 1;
+        let mut oracle = DiGraph::new(cap);
+        let mut committed: Vec<(Vec<u64>, Vec<u64>)> = Vec::new(); // (f,b) per seq
+
+        for cand in &cands {
+            let next = v.next_seq();
+            if next == 0 {
+                let seq = v
+                    .validate_and_commit(&TxnDeps::default(), ())
+                    .expect("first commit is unconditional");
+                assert_eq!(seq, 0);
+                committed.push((vec![], vec![]));
+                continue;
+            }
+            let newest = next - 1;
+            let snapshot = newest.saturating_sub(cand.snapshot_back) + 1;
+            // Forward deps must target unobserved commits (seq >= snapshot).
+            let forward: Vec<u64> = cand
+                .forward_back
+                .iter()
+                .map(|&b| newest.saturating_sub(b))
+                .filter(|&s| s >= snapshot)
+                .collect();
+            let backward: Vec<u64> = cand
+                .backward_back
+                .iter()
+                .map(|&b| newest.saturating_sub(b))
+                .collect();
+            let deps = TxnDeps { snapshot, forward: forward.clone(), backward: backward.clone() };
+            // Strict order applies to commits already evicted when the
+            // candidate validates (its own commit may evict a transaction
+            // it legitimately precedes, so capture `oldest` first).
+            let oldest_before = v.oldest_seq().unwrap_or(0);
+            match v.validate_and_commit(&deps, ()) {
+                Ok(seq) => {
+                    let me = seq as usize;
+                    for old in 0..oldest_before {
+                        oracle.add_edge(old as usize, me);
+                    }
+                    for &f in &forward {
+                        oracle.add_edge(me, f as usize);
+                    }
+                    for &b in &backward {
+                        oracle.add_edge(b as usize, me);
+                    }
+                    committed.push((forward, backward));
+                    prop_assert!(
+                        oracle.is_acyclic(),
+                        "validator admitted a transaction that closes a cycle \
+                         (seq {seq}, window {window})"
+                    );
+                }
+                Err(RejectReason::Cycle | RejectReason::WindowOverflow) => {
+                    // Rejections are always safe; completeness is bounded
+                    // by the window and the pinned-vector conservatism.
+                }
+            }
+        }
+
+        // The matrix invariant must hold at the end as well.
+        prop_assert!(v.matrix().closure_invariant_holds());
+    }
+
+    #[test]
+    fn matrix_matches_bruteforce_reachability(
+        // Chain/jump structure: each new txn depends backward on a random
+        // subset of live slots.
+        deps in prop::collection::vec(prop::collection::vec(0usize..6, 0..3), 1..12),
+    ) {
+        use rococo_core::{DepVec, ReachMatrix};
+        let w = 16;
+        let mut m = ReachMatrix::new(w);
+        let mut edges: Vec<(usize, usize)> = Vec::new(); // slot-level, no eviction (n < w)
+        for (i, ds) in deps.iter().enumerate() {
+            let mut b = DepVec::new(w);
+            for &d in ds {
+                if d < i {
+                    b.set(d);
+                    edges.push((d, i));
+                }
+            }
+            let c = m.validate(&DepVec::new(w), &b).expect("backward-only deps are acyclic");
+            m.commit(&c);
+        }
+        // Brute-force closure.
+        let n = deps.len();
+        let mut g = DiGraph::new(n);
+        for &(u, vtx) in &edges {
+            g.add_edge(u, vtx);
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let expect = i == j || g.reaches(i, j);
+                prop_assert_eq!(
+                    m.reaches(i, j),
+                    expect,
+                    "reachability mismatch at ({}, {})", i, j
+                );
+            }
+        }
+    }
+}

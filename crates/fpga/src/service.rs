@@ -1,0 +1,246 @@
+//! The validator thread: the simulated FPGA inside the live TM runtime.
+//!
+//! ROCoCoTM cascades CPU execution/commit stages and FPGA detect/manage
+//! stages through two asynchronous message queues (the pull/push queues of
+//! Figure 6) so that communication latency is amortised by overlapping
+//! transactions. Here the "FPGA" is a dedicated thread owning a
+//! [`ValidationEngine`]; workers submit [`ValidateRequest`]s over a
+//! multi-producer channel and receive their [`FpgaVerdict`] over a
+//! per-request reply channel.
+
+use crate::engine::{EngineConfig, EngineStats, FpgaVerdict, ValidateRequest, ValidationEngine};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+enum Msg {
+    Validate(ValidateRequest, Sender<FpgaVerdict>),
+    Snapshot(Sender<EngineStats>),
+    Stop,
+}
+
+/// A handle for submitting validation requests to the service. Cheap to
+/// clone; one per worker thread.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    tx: Sender<Msg>,
+    in_flight: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for ServiceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceHandle")
+            .field("in_flight", &self.in_flight.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ServiceHandle {
+    /// Submits a request and blocks until the verdict arrives (execution
+    /// threads in ROCoCoTM "send R/W-set to FPGA and wait for verdict").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the validator thread has shut down.
+    pub fn validate(&self, req: ValidateRequest) -> FpgaVerdict {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        self.tx
+            .send(Msg::Validate(req, reply_tx))
+            .expect("validation service stopped");
+        let verdict = reply_rx.recv().expect("validation service dropped reply");
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        verdict
+    }
+
+    /// Submits a request without waiting; returns a receiver for the
+    /// verdict so the caller can overlap other work (meta-pipelining).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the validator thread has shut down.
+    pub fn validate_async(&self, req: ValidateRequest) -> Receiver<FpgaVerdict> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Msg::Validate(req, reply_tx))
+            .expect("validation service stopped");
+        reply_rx
+    }
+
+    /// Reads the engine's statistics (round-trips through the thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the validator thread has shut down.
+    pub fn stats(&self) -> EngineStats {
+        let (tx, rx) = bounded(1);
+        self.tx
+            .send(Msg::Snapshot(tx))
+            .expect("validation service stopped");
+        rx.recv().expect("validation service dropped stats reply")
+    }
+}
+
+/// The validator thread itself. Dropping it stops the thread after draining
+/// queued requests.
+pub struct ValidationService {
+    handle: ServiceHandle,
+    thread: Option<JoinHandle<EngineStats>>,
+}
+
+impl std::fmt::Debug for ValidationService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ValidationService").finish_non_exhaustive()
+    }
+}
+
+impl ValidationService {
+    /// Spawns the validator thread with the given engine configuration.
+    pub fn spawn(config: EngineConfig) -> Self {
+        let (tx, rx) = unbounded::<Msg>();
+        let thread = std::thread::Builder::new()
+            .name("rococo-fpga".into())
+            .spawn(move || run_engine(ValidationEngine::new(config), rx))
+            .expect("failed to spawn validator thread");
+        Self {
+            handle: ServiceHandle {
+                tx,
+                in_flight: Arc::new(AtomicU64::new(0)),
+            },
+            thread: Some(thread),
+        }
+    }
+
+    /// A cloneable submission handle.
+    pub fn handle(&self) -> ServiceHandle {
+        self.handle.clone()
+    }
+
+    /// Stops the thread and returns the final engine statistics.
+    pub fn shutdown(mut self) -> EngineStats {
+        let _ = self.handle.tx.send(Msg::Stop);
+        self.thread
+            .take()
+            .expect("shutdown called twice")
+            .join()
+            .expect("validator thread panicked")
+    }
+}
+
+impl Drop for ValidationService {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            let _ = self.handle.tx.send(Msg::Stop);
+            let _ = thread.join();
+        }
+    }
+}
+
+fn run_engine(mut engine: ValidationEngine, rx: Receiver<Msg>) -> EngineStats {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Validate(req, reply) => {
+                let verdict = engine.process(&req);
+                // The submitter may have given up (e.g. its thread panicked);
+                // a lost reply must not take the validator down.
+                let _ = reply.send(verdict);
+            }
+            Msg::Snapshot(reply) => {
+                let _ = reply.send(engine.stats());
+            }
+            Msg::Stop => break,
+        }
+    }
+    engine.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(tx_id: u64, valid_ts: u64, reads: &[u64], writes: &[u64]) -> ValidateRequest {
+        ValidateRequest {
+            tx_id,
+            valid_ts,
+            read_addrs: reads.to_vec(),
+            write_addrs: writes.to_vec(),
+        }
+    }
+
+    #[test]
+    fn blocking_roundtrip() {
+        let svc = ValidationService::spawn(EngineConfig::default());
+        let h = svc.handle();
+        let v = h.validate(req(1, 0, &[10], &[20]));
+        assert!(v.is_commit());
+        let stats = svc.shutdown();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.commits, 1);
+    }
+
+    #[test]
+    fn async_submission_overlaps() {
+        let svc = ValidationService::spawn(EngineConfig::default());
+        let h = svc.handle();
+        let pending: Vec<_> = (0..32u64)
+            .map(|i| h.validate_async(req(i, 0, &[i + 5000], &[i + 9000])))
+            .collect();
+        for p in pending {
+            assert!(p.recv().unwrap().is_commit());
+        }
+        assert_eq!(h.stats().commits, 32);
+    }
+
+    #[test]
+    fn verdicts_keep_rococo_semantics_across_threads() {
+        let svc = ValidationService::spawn(EngineConfig::default());
+        let h = svc.handle();
+        assert!(h.validate(req(0, 0, &[7], &[8])).is_commit());
+        // Write skew partner must abort even when submitted from another
+        // thread.
+        let h2 = svc.handle();
+        let join = std::thread::spawn(move || h2.validate(req(1, 0, &[8], &[7])));
+        assert_eq!(join.join().unwrap(), FpgaVerdict::AbortCycle);
+    }
+
+    #[test]
+    fn many_threads_hammering() {
+        let svc = ValidationService::spawn(EngineConfig::default());
+        let mut joins = Vec::new();
+        for t in 0..8u64 {
+            let h = svc.handle();
+            joins.push(std::thread::spawn(move || {
+                let mut commits = 0;
+                // Track the snapshot like the STM's GlobalTS would: each
+                // commit verdict tells us the newest sequence we observed.
+                let mut valid_ts = 0;
+                for i in 0..200u64 {
+                    let base = 1_000_000 + t * 10_000 + i * 4;
+                    let v = h.validate(req(t * 1000 + i, valid_ts, &[base], &[base + 1]));
+                    if let FpgaVerdict::Commit { seq } = v {
+                        commits += 1;
+                        valid_ts = seq + 1;
+                    }
+                }
+                commits
+            }));
+        }
+        let total: u64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+        let stats = svc.shutdown();
+        assert_eq!(stats.requests, 1600);
+        assert_eq!(stats.commits, total);
+        // Disjoint footprints: overwhelmingly commits (bloom false
+        // positives may cause a handful of cycle aborts at worst... but a
+        // cycle needs both directions, so expect none or almost none).
+        assert!(total > 1500, "commits: {total}");
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let svc = ValidationService::spawn(EngineConfig::default());
+        let h = svc.handle();
+        h.validate(req(0, 0, &[1], &[2]));
+        drop(svc); // must not hang or panic
+    }
+}

@@ -1,0 +1,378 @@
+//! Partitioned bloom-filter signatures.
+
+use crate::hash::MultiplyShift;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum number of partitions a scheme supports (bounds a stack buffer on
+/// the hot path).
+const MAX_K: usize = 16;
+
+/// A parallel (partitioned) bloom-filter scheme.
+///
+/// The scheme fixes the signature geometry — `m` total bits split into `k`
+/// equal partitions — and owns the hash family. Signatures ([`Sig`]) are
+/// plain bit vectors; all operations that need hashing (insert, query) go
+/// through the scheme so that every signature in a system is guaranteed to
+/// use the same geometry.
+///
+/// The paper's design point is `m = 512`, `k = 8`
+/// ([`SigScheme::paper_default`]): eight partitions of 64 bits, matching one
+/// 512-bit AVX register / cache line on the CPU and a flat wire bundle on the
+/// FPGA.
+#[derive(Debug, Clone)]
+pub struct SigScheme {
+    m_bits: usize,
+    k: usize,
+    part_bits: usize,
+    words: usize,
+    hashers: MultiplyShift,
+}
+
+impl SigScheme {
+    /// Default seed used by [`SigScheme::paper_default`] and
+    /// [`SigScheme::new`]'s convenience callers. Fixed so that every
+    /// component of a system (CPU side, simulated FPGA side) derives the same
+    /// hash family, exactly like a synthesised bitstream would.
+    pub const DEFAULT_SEED: u64 = 0x5eed_0000_0c0c_0a19;
+
+    /// Creates a scheme with `m_bits` total bits and `k` partitions, deriving
+    /// the hash family from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m_bits` is not a multiple of `64 * k`, if the partition
+    /// size is not a power of two, or if `k` is 0 or greater than 16.
+    pub fn with_seed(m_bits: usize, k: usize, seed: u64) -> Self {
+        assert!(k > 0 && k <= MAX_K, "k must be in 1..=16, got {k}");
+        assert!(
+            m_bits.is_multiple_of(64) && m_bits.is_multiple_of(k),
+            "m_bits ({m_bits}) must be a multiple of 64 and of k ({k})"
+        );
+        let part_bits = m_bits / k;
+        assert!(
+            part_bits.is_power_of_two(),
+            "partition size {part_bits} must be a power of two"
+        );
+        let out_bits = part_bits.trailing_zeros();
+        Self {
+            m_bits,
+            k,
+            part_bits,
+            words: m_bits / 64,
+            hashers: MultiplyShift::new(k, out_bits, seed),
+        }
+    }
+
+    /// Creates a scheme with the default seed.
+    ///
+    /// See [`SigScheme::with_seed`] for panics.
+    pub fn new(m_bits: usize, k: usize) -> Self {
+        Self::with_seed(m_bits, k, Self::DEFAULT_SEED)
+    }
+
+    /// The paper's design point: 512 bits, 8 partitions.
+    pub fn paper_default() -> Self {
+        Self::new(512, 8)
+    }
+
+    /// Total signature size in bits (`m`).
+    pub fn m_bits(&self) -> usize {
+        self.m_bits
+    }
+
+    /// Number of partitions (`k`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Signature size in 64-bit words.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Creates an empty signature of this scheme's geometry.
+    pub fn new_sig(&self) -> Sig {
+        Sig {
+            words: vec![0; self.words],
+        }
+    }
+
+    /// Computes the `k` (word index, bit mask) positions `addr` maps to, one
+    /// per partition.
+    #[inline]
+    fn positions(&self, addr: u64) -> ([(u32, u64); MAX_K], usize) {
+        let mut out = [(0u32, 0u64); MAX_K];
+        for (i, slot) in out.iter_mut().enumerate().take(self.k) {
+            let h = self.hashers.hash(i, addr) as usize;
+            let bit = i * self.part_bits + h;
+            *slot = ((bit / 64) as u32, 1u64 << (bit % 64));
+            debug_assert!(bit / 64 < self.words);
+        }
+        (out, self.k)
+    }
+
+    /// Inserts `addr` into `sig` (one bit per partition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig` does not match this scheme's geometry.
+    #[inline]
+    pub fn insert(&self, sig: &mut Sig, addr: u64) {
+        assert_eq!(sig.words.len(), self.words, "signature geometry mismatch");
+        let (pos, n) = self.positions(addr);
+        for &(w, mask) in &pos[..n] {
+            sig.words[w as usize] |= mask;
+        }
+    }
+
+    /// Tests whether `addr` may be a member of the set summarised by `sig`.
+    ///
+    /// A `false` answer is exact (no false negatives); a `true` answer may be
+    /// a false positive with the probability modelled by
+    /// [`crate::fp_model::query_fp`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig` does not match this scheme's geometry.
+    #[inline]
+    pub fn query(&self, sig: &Sig, addr: u64) -> bool {
+        assert_eq!(sig.words.len(), self.words, "signature geometry mismatch");
+        let (pos, n) = self.positions(addr);
+        pos[..n]
+            .iter()
+            .all(|&(w, mask)| sig.words[w as usize] & mask != 0)
+    }
+
+    /// Builds a signature summarising all of `addrs`.
+    pub fn sig_of<I: IntoIterator<Item = u64>>(&self, addrs: I) -> Sig {
+        let mut sig = self.new_sig();
+        for a in addrs {
+            self.insert(&mut sig, a);
+        }
+        sig
+    }
+
+    /// Partition-aware set-intersection test (the Bulk rule).
+    ///
+    /// An element common to both summarised sets sets the same bit in every
+    /// partition of both signatures, so the sets *may* intersect only if the
+    /// bitwise AND is non-zero in **every** partition. A `false` answer is
+    /// exact; a `true` answer is a false set-overlap with the probability
+    /// modelled by [`crate::fp_model::intersection_fp`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either signature does not match this scheme's geometry.
+    pub fn sets_may_intersect(&self, a: &Sig, b: &Sig) -> bool {
+        assert_eq!(a.words.len(), self.words, "signature geometry mismatch");
+        assert_eq!(b.words.len(), self.words, "signature geometry mismatch");
+        (0..self.k).all(|p| {
+            let lo = p * self.part_bits;
+            let hi = lo + self.part_bits;
+            let mut bit = lo;
+            while bit < hi {
+                let word = bit / 64;
+                let offset = bit % 64;
+                let span = (64 - offset).min(hi - bit);
+                let mask = if span == 64 {
+                    u64::MAX
+                } else {
+                    ((1u64 << span) - 1) << offset
+                };
+                if a.words[word] & b.words[word] & mask != 0 {
+                    return true; // this partition overlaps; check the next
+                }
+                bit += span;
+            }
+            false
+        })
+    }
+}
+
+/// A bloom-filter signature: a fixed-width bit vector.
+///
+/// All set-algebra operations (`union_with`, `intersect`, `overlaps`) are
+/// geometry-agnostic bitwise operations; insertion and membership query live
+/// on [`SigScheme`].
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Sig {
+    words: Vec<u64>,
+}
+
+impl Sig {
+    /// Creates an empty signature with `words` 64-bit words. Prefer
+    /// [`SigScheme::new_sig`], which ties the size to a scheme.
+    pub fn zeroed(words: usize) -> Self {
+        Self {
+            words: vec![0; words],
+        }
+    }
+
+    /// Whether no bit is set (summarises the empty set, or is only ever
+    /// compared against).
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Size in 64-bit words.
+    pub fn len_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// In-place set union (`self |= other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signatures have different sizes.
+    pub fn union_with(&mut self, other: &Sig) {
+        assert_eq!(self.words.len(), other.words.len(), "signature size mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Set intersection (`self & other`), returned as a new signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signatures have different sizes.
+    pub fn intersect(&self, other: &Sig) -> Sig {
+        assert_eq!(self.words.len(), other.words.len(), "signature size mismatch");
+        Sig {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Whether the intersection with `other` is non-empty.
+    ///
+    /// This is the *set intersection* test the paper uses for eager conflict
+    /// detection; a `true` may be a false set-overlap with probability
+    /// modelled by [`crate::fp_model::intersection_fp`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signatures have different sizes.
+    #[inline]
+    pub fn overlaps(&self, other: &Sig) -> bool {
+        assert_eq!(self.words.len(), other.words.len(), "signature size mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Raw word view (for hardware-model code that shifts signatures through
+    /// register files).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl fmt::Debug for Sig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sig[{}b, {} ones]", self.words.len() * 64, self.count_ones())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let s = SigScheme::paper_default();
+        let mut sig = s.new_sig();
+        let addrs: Vec<u64> = (0..64).map(|i| i * 977 + 13).collect();
+        for &a in &addrs {
+            s.insert(&mut sig, a);
+        }
+        for &a in &addrs {
+            assert!(s.query(&sig, a), "false negative for {a}");
+        }
+    }
+
+    #[test]
+    fn empty_sig_queries_false() {
+        let s = SigScheme::paper_default();
+        let sig = s.new_sig();
+        for a in 0..1000u64 {
+            assert!(!s.query(&sig, a));
+        }
+    }
+
+    #[test]
+    fn one_bit_per_partition() {
+        let s = SigScheme::paper_default();
+        let mut sig = s.new_sig();
+        s.insert(&mut sig, 0xfeed);
+        assert_eq!(sig.count_ones(), 8, "one insert must set exactly k bits");
+    }
+
+    #[test]
+    fn union_superset_of_both() {
+        let s = SigScheme::paper_default();
+        let mut a = s.sig_of([1, 2, 3]);
+        let b = s.sig_of([100, 200]);
+        a.union_with(&b);
+        for addr in [1u64, 2, 3, 100, 200] {
+            assert!(s.query(&a, addr));
+        }
+    }
+
+    #[test]
+    fn intersect_of_disjoint_small_sets_is_usually_empty() {
+        // With n = 1 on each side and m = 512, a false set-overlap should be
+        // extremely rare; over 500 trials expect at most a few.
+        let s = SigScheme::paper_default();
+        let mut overlap = 0;
+        for i in 0..500u64 {
+            let a = s.sig_of([i * 2 + 1_000_000]);
+            let b = s.sig_of([i * 2 + 2_000_001]);
+            if a.overlaps(&b) {
+                overlap += 1;
+            }
+        }
+        assert!(overlap < 20, "too many false set-overlaps: {overlap}");
+    }
+
+    #[test]
+    fn overlaps_matches_intersect_nonempty() {
+        let s = SigScheme::new(256, 4);
+        let a = s.sig_of(0..20u64);
+        let b = s.sig_of(15..40u64);
+        assert_eq!(a.overlaps(&b), !a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn scheme_sizes() {
+        let s = SigScheme::new(1024, 8);
+        assert_eq!(s.words(), 16);
+        assert_eq!(s.m_bits(), 1024);
+        assert_eq!(s.k(), 8);
+        assert_eq!(s.new_sig().len_words(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn mismatched_sig_rejected() {
+        let s = SigScheme::paper_default();
+        let mut wrong = Sig::zeroed(4);
+        s.insert(&mut wrong, 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! genome — gene sequencing: segment deduplication and overlap matching.
+//!
+//! A random genome over the {A, C, G, T} alphabet is cut into all
+//! overlapping windows of `seg_len` characters (bit-packed two bits per
+//! character, so a segment is one `u64`). The transactional phases mirror
+//! STAMP's:
+//!
+//! 1. **Deduplication** — every (duplicated) segment is inserted into a
+//!    transactional hash set; duplicates are rejected by the set.
+//! 2. **Overlap matching** — a prefix index maps each unique segment's
+//!    leading `seg_len − 1` characters to the segment; each segment then
+//!    looks up the segment whose prefix equals its own suffix and links to
+//!    it, claiming the successor transactionally (each segment may be
+//!    claimed by exactly one predecessor).
+//!
+//! With a random genome the `(seg_len − 1)`-mers are unique with
+//! overwhelming probability, so the links reconstruct the genome: the
+//! validation walks the chain from the unclaimed head segment and compares
+//! against the original genome.
+
+use crate::apps::AppResult;
+use crate::ds::TmHashMap;
+use crate::harness::{parallel_phase, partition, Preset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rococo_stm::{atomically, TmSystem};
+
+/// genome parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Genome length in characters.
+    pub genome_len: usize,
+    /// Segment window length in characters (≤ 31 so a segment plus flags
+    /// packs into a `u64`).
+    pub seg_len: usize,
+    /// How many times each window is duplicated in the input pool.
+    pub duplication: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Preset sizes.
+    pub fn preset(p: Preset) -> Self {
+        match p {
+            Preset::Tiny => Self {
+                genome_len: 256,
+                seg_len: 24,
+                duplication: 3,
+                seed: 0x9e40,
+            },
+            Preset::Small => Self {
+                genome_len: 4096,
+                seg_len: 24,
+                duplication: 4,
+                seed: 0x9e40,
+            },
+            Preset::Paper => Self {
+                genome_len: 16384,
+                seg_len: 24,
+                duplication: 6,
+                seed: 0x9e40,
+            },
+        }
+    }
+
+    fn windows(&self) -> usize {
+        self.genome_len - self.seg_len + 1
+    }
+
+    /// Heap words needed (with slack for nodes leaked by aborted retries).
+    pub fn heap_words(&self) -> usize {
+        let n = self.windows();
+        // Four hash maps worth of sentinels plus node allocations, with
+        // an 8x abort-leak margin.
+        n * 3 * 4 * 8 + (n / 4).max(16) * 3 * 4 + 8192
+    }
+}
+
+fn pack_genome(cfg: &Config) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.genome_len).map(|_| rng.gen_range(0..4u8)).collect()
+}
+
+fn window_key(genome: &[u8], pos: usize, len: usize) -> u64 {
+    genome[pos..pos + len]
+        .iter()
+        .fold(0u64, |k, &c| (k << 2) | c as u64)
+}
+
+/// Runs genome on `sys` with `threads` workers.
+pub fn run<S: TmSystem>(sys: &S, threads: usize, cfg: &Config) -> AppResult {
+    assert!(cfg.seg_len >= 2 && cfg.seg_len <= 31, "seg_len out of range");
+    let heap = sys.heap();
+    let genome = pack_genome(cfg);
+    let n_windows = cfg.windows();
+
+    // The duplicated, shuffled segment pool (host side; the "input file").
+    let mut pool: Vec<u64> = Vec::with_capacity(n_windows * cfg.duplication);
+    for pos in 0..n_windows {
+        let key = window_key(&genome, pos, cfg.seg_len);
+        for _ in 0..cfg.duplication {
+            pool.push(key);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xdead);
+    for i in (1..pool.len()).rev() {
+        pool.swap(i, rng.gen_range(0..=i));
+    }
+
+    let buckets = (n_windows / 4).max(16);
+    let dedup = TmHashMap::create(heap, buckets);
+    let prefix_index = TmHashMap::create(heap, buckets);
+    // claimed: segment key -> 1 when some predecessor linked to it.
+    let claimed = TmHashMap::create(heap, buckets);
+    // successor: segment key -> successor key + 1 (0 = end of chain).
+    let successor = TmHashMap::create(heap, buckets);
+
+    // Phase 1: deduplication.
+    let mut parallel = parallel_phase(sys, threads, |t| {
+        for &seg in &pool[partition(pool.len(), threads, t)] {
+            atomically(sys, t, |tx| {
+                dedup.insert(tx, heap, seg, 1)?;
+                Ok(())
+            });
+        }
+    });
+    let unique: Vec<u64> = atomically(sys, 0, |tx| {
+        Ok(dedup.entries(tx)?.iter().map(|&(k, _)| k).collect())
+    });
+
+    // Phase 2a: build the prefix index (prefix = leading seg_len-1 chars).
+    parallel += parallel_phase(sys, threads, |t| {
+        for &seg in &unique[partition(unique.len(), threads, t)] {
+            let prefix = seg >> 2;
+            atomically(sys, t, |tx| {
+                prefix_index.insert(tx, heap, prefix, seg)?;
+                Ok(())
+            });
+        }
+    });
+
+    // Phase 2b: overlap matching — link each segment to the segment whose
+    // prefix matches its suffix, claiming the successor exactly once.
+    let suffix_mask = (1u64 << (2 * (cfg.seg_len - 1))) - 1;
+    parallel += parallel_phase(sys, threads, |t| {
+        for &seg in &unique[partition(unique.len(), threads, t)] {
+            let suffix = seg & suffix_mask;
+            atomically(sys, t, |tx| {
+                if let Some(next) = prefix_index.get(tx, suffix)? {
+                    if next != seg && claimed.insert(tx, heap, next, seg)? {
+                        successor.insert(tx, heap, seg, next + 1)?;
+                        return Ok(());
+                    }
+                }
+                successor.insert(tx, heap, seg, 0)?; // chain end / no match
+                Ok(())
+            });
+        }
+    });
+
+    // Validation: walk the chain from the head (the segment nobody
+    // claimed) and compare with the original genome.
+    let (validated, checksum) = atomically(sys, 0, |tx| {
+        let mut head = None;
+        let mut heads = 0usize;
+        for &seg in &unique {
+            if claimed.get(tx, seg)?.is_none() {
+                heads += 1;
+                head = Some(seg);
+            }
+        }
+        let Some(mut cur) = head else {
+            return Ok((false, 0));
+        };
+        // Reconstruct: the head contributes seg_len chars, every link one.
+        let mut reconstructed = cfg.seg_len;
+        let mut visited = 1usize;
+        let mut digest = cur;
+        while let Some(nx) = successor.get(tx, cur)? {
+            if nx == 0 {
+                break;
+            }
+            cur = nx - 1;
+            visited += 1;
+            reconstructed += 1;
+            digest = digest.wrapping_mul(1099511628211) ^ cur;
+        }
+        let ok = heads == 1
+            && visited == unique.len()
+            && reconstructed == cfg.genome_len
+            && unique.len() == cfg.windows();
+        Ok((ok, digest))
+    });
+
+    AppResult {
+        validated,
+        checksum,
+        parallel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rococo_stm::{RococoTm, SeqTm, TinyStm, TmConfig};
+
+    #[test]
+    fn sequential_reconstructs_genome() {
+        let cfg = Config::preset(Preset::Tiny);
+        let tm = SeqTm::with_config(TmConfig {
+            heap_words: cfg.heap_words(),
+            max_threads: 1,
+        });
+        let r = run(&tm, 1, &cfg);
+        assert!(r.validated);
+    }
+
+    #[test]
+    fn parallel_systems_reconstruct_identically() {
+        let cfg = Config::preset(Preset::Tiny);
+        let seq = run(
+            &SeqTm::with_config(TmConfig {
+                heap_words: cfg.heap_words(),
+                max_threads: 1,
+            }),
+            1,
+            &cfg,
+        );
+        let mk = TmConfig {
+            heap_words: cfg.heap_words(),
+            max_threads: 4,
+        };
+        for r in [
+            run(&TinyStm::with_config(mk), 4, &cfg),
+            run(&RococoTm::with_config(mk), 4, &cfg),
+        ] {
+            assert!(r.validated);
+            assert_eq!(r.checksum, seq.checksum, "chain is unique");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! intruder — network intrusion detection: capture, reassembly, detection.
+//!
+//! Fragmented flows arrive interleaved on a shared packet queue. Worker
+//! transactions pop a fragment (capture), fold it into the flow's
+//! reassembly record (a transactional map from flow id to received-count
+//! and payload digest), and when the flow completes, run the detector on
+//! the digest and record any attack. Conflicts arise on the shared queue
+//! head and on flows whose fragments land in different threads — STAMP's
+//! intruder is dominated by exactly these small, hot transactions.
+
+use crate::apps::AppResult;
+use crate::ds::{tm_fetch_add, TmHashMap, TmQueue};
+use crate::harness::{parallel_phase, Preset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rococo_stm::{atomically, TmSystem};
+
+/// intruder parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of flows.
+    pub flows: usize,
+    /// Fragments per flow.
+    pub frags_per_flow: usize,
+    /// Percent of flows carrying an attack payload.
+    pub attack_pct: u32,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Preset sizes.
+    pub fn preset(p: Preset) -> Self {
+        match p {
+            Preset::Tiny => Self {
+                flows: 64,
+                frags_per_flow: 4,
+                attack_pct: 10,
+                seed: 0x17d3,
+            },
+            Preset::Small => Self {
+                flows: 1024,
+                frags_per_flow: 8,
+                attack_pct: 10,
+                seed: 0x17d3,
+            },
+            Preset::Paper => Self {
+                flows: 8192,
+                frags_per_flow: 16,
+                attack_pct: 10,
+                seed: 0x17d3,
+            },
+        }
+    }
+
+    fn total_frags(&self) -> usize {
+        self.flows * self.frags_per_flow
+    }
+
+    /// Heap words needed (with slack for nodes leaked by aborted retries).
+    pub fn heap_words(&self) -> usize {
+        self.total_frags() + self.flows * 3 * 2 * 16 + self.flows * 4 + 8192
+    }
+}
+
+/// A fragment encodes (flow id, payload piece) in one word.
+fn encode(flow: u64, piece: u64) -> u64 {
+    (flow << 32) | (piece & 0xffff_ffff)
+}
+
+fn decode(word: u64) -> (u64, u64) {
+    (word >> 32, word & 0xffff_ffff)
+}
+
+/// Runs intruder on `sys` with `threads` workers.
+pub fn run<S: TmSystem>(sys: &S, threads: usize, cfg: &Config) -> AppResult {
+    let heap = sys.heap();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Build flows: each flow's payload pieces XOR to its digest; attack
+    // flows are marked by digest bit 0 (steered by construction).
+    let mut fragments = Vec::with_capacity(cfg.total_frags());
+    let mut expected_attacks = 0u64;
+    for flow in 0..cfg.flows as u64 {
+        let attack = rng.gen_range(0..100) < cfg.attack_pct;
+        if attack {
+            expected_attacks += 1;
+        }
+        let mut digest = 0u64;
+        let mut pieces: Vec<u64> = (0..cfg.frags_per_flow - 1)
+            .map(|_| {
+                let p = rng.gen_range(0..1u64 << 31) << 1;
+                digest ^= p;
+                p
+            })
+            .collect();
+        // Final piece steers the digest's low bit: 1 marks an attack.
+        let last = digest ^ u64::from(attack);
+        pieces.push(last & 0xffff_ffff);
+        for piece in pieces {
+            fragments.push(encode(flow, piece));
+        }
+    }
+    // Shuffle so fragments of a flow interleave across the stream.
+    for i in (1..fragments.len()).rev() {
+        fragments.swap(i, rng.gen_range(0..=i));
+    }
+
+    // Shared state.
+    let queue = TmQueue::create(heap, cfg.total_frags() + 1);
+    for &f in &fragments {
+        let pushed = atomically(sys, 0, |tx| queue.push(tx, f));
+        assert!(pushed, "prefill cannot overflow");
+    }
+    // flow id -> received count; flow id -> digest accumulator.
+    let counts = TmHashMap::create(heap, (cfg.flows / 2).max(16));
+    let digests = TmHashMap::create(heap, (cfg.flows / 2).max(16));
+    // Per-thread tallies: a single global counter would serialise every
+    // completing flow.
+    let completed = heap.alloc(threads);
+    let detected = heap.alloc(threads);
+
+    let frags = cfg.frags_per_flow as u64;
+    let parallel = parallel_phase(sys, threads, |t| {
+        loop {
+            let done = atomically(sys, t, |tx| {
+                // Capture.
+                let Some(word) = queue.pop(tx)? else {
+                    return Ok(true);
+                };
+                let (flow, piece) = decode(word);
+                // Reassembly.
+                let got = counts.get(tx, flow)?.unwrap_or(0) + 1;
+                counts.put(tx, heap, flow, got)?;
+                let digest = digests.get(tx, flow)?.unwrap_or(0) ^ piece;
+                digests.put(tx, heap, flow, digest)?;
+                // Detection on the completed flow.
+                if got == frags {
+                    tm_fetch_add(tx, completed + t, 1)?;
+                    if digest & 1 == 1 {
+                        tm_fetch_add(tx, detected + t, 1)?;
+                    }
+                }
+                Ok(false)
+            });
+            if done {
+                break;
+            }
+        }
+    });
+
+    let completed: u64 = (0..threads).map(|t| heap.load_direct(completed + t)).sum();
+    let detected: u64 = (0..threads).map(|t| heap.load_direct(detected + t)).sum();
+    let validated = completed == cfg.flows as u64 && detected == expected_attacks;
+    AppResult {
+        validated,
+        checksum: detected.wrapping_mul(65599).wrapping_add(completed),
+        parallel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rococo_stm::{RococoTm, SeqTm, TinyStm, TmConfig, TsxHtm};
+
+    #[test]
+    fn sequential_detects_all_attacks() {
+        let cfg = Config::preset(Preset::Tiny);
+        let tm = SeqTm::with_config(TmConfig {
+            heap_words: cfg.heap_words(),
+            max_threads: 1,
+        });
+        let r = run(&tm, 1, &cfg);
+        assert!(r.validated);
+    }
+
+    #[test]
+    fn concurrent_reassembly_is_exact() {
+        let cfg = Config::preset(Preset::Tiny);
+        let seq = run(
+            &SeqTm::with_config(TmConfig {
+                heap_words: cfg.heap_words(),
+                max_threads: 1,
+            }),
+            1,
+            &cfg,
+        );
+        let mk = TmConfig {
+            heap_words: cfg.heap_words(),
+            max_threads: 4,
+        };
+        for r in [
+            run(&TinyStm::with_config(mk), 4, &cfg),
+            run(&TsxHtm::with_config(mk), 4, &cfg),
+            run(&RococoTm::with_config(mk), 4, &cfg),
+        ] {
+            assert!(r.validated);
+            assert_eq!(r.checksum, seq.checksum);
+        }
+    }
+}

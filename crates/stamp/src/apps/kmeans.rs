@@ -1,0 +1,212 @@
+//! kmeans — iterative clustering with transactional centroid accumulation.
+//!
+//! Points are partitioned across threads; each point's nearest centre is
+//! computed from a read-only copy of the centres, then a transaction folds
+//! the point into the chosen centre's accumulator (count + per-dimension
+//! sums). Contention is governed by the number of clusters: STAMP's
+//! "high-contention" configuration uses few clusters so threads collide on
+//! the same accumulators, the "low-contention" one uses many.
+//!
+//! Coordinates are fixed-point (`×1024`) so accumulators live in integer
+//! heap words.
+
+use crate::apps::AppResult;
+use crate::ds::tm_fetch_add;
+use crate::harness::{parallel_phase, partition, Preset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rococo_stm::{atomically, TmSystem};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// kmeans parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of points.
+    pub points: usize,
+    /// Dimensions per point.
+    pub dims: usize,
+    /// Number of clusters (few = high contention).
+    pub clusters: usize,
+    /// Lloyd iterations.
+    pub iterations: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Preset sizes; `high_contention` selects the cluster count.
+    pub fn preset(p: Preset, high_contention: bool) -> Self {
+        let clusters = if high_contention { 4 } else { 40 };
+        match p {
+            Preset::Tiny => Self {
+                points: 256,
+                dims: 4,
+                clusters,
+                iterations: 3,
+                seed: 0x33ea5,
+            },
+            Preset::Small => Self {
+                points: 4096,
+                dims: 8,
+                clusters,
+                iterations: 5,
+                seed: 0x33ea5,
+            },
+            Preset::Paper => Self {
+                points: 16384,
+                dims: 16,
+                clusters,
+                iterations: 8,
+                seed: 0x33ea5,
+            },
+        }
+    }
+
+    /// Heap words needed: per-cluster accumulators (count + dims sums).
+    pub fn heap_words(&self) -> usize {
+        self.clusters * (1 + self.dims) + 64
+    }
+}
+
+/// Fixed-point scale.
+const FP: u64 = 1024;
+
+fn nearest(point: &[u64], centres: &[Vec<u64>]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = u64::MAX;
+    for (c, centre) in centres.iter().enumerate() {
+        let d: u64 = point
+            .iter()
+            .zip(centre)
+            .map(|(&a, &b)| {
+                let diff = a.abs_diff(b);
+                (diff / 32).saturating_mul(diff / 32) // scaled to avoid overflow
+            })
+            .sum();
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Runs kmeans on `sys` with `threads` workers.
+pub fn run<S: TmSystem>(sys: &S, threads: usize, cfg: &Config) -> AppResult {
+    let heap = sys.heap();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let points: Vec<Vec<u64>> = (0..cfg.points)
+        .map(|_| (0..cfg.dims).map(|_| rng.gen_range(0..100 * FP)).collect())
+        .collect();
+
+    // Per-cluster accumulator block: [count, sum_0, ..., sum_{d-1}].
+    let acc: Vec<usize> = (0..cfg.clusters)
+        .map(|_| heap.alloc(1 + cfg.dims))
+        .collect();
+
+    // Initial centres: the first k points.
+    let mut centres: Vec<Vec<u64>> = points.iter().take(cfg.clusters).cloned().collect();
+    let valid = AtomicBool::new(true);
+    let mut parallel = std::time::Duration::ZERO;
+
+    for _iter in 0..cfg.iterations {
+        for &a in &acc {
+            for d in 0..=cfg.dims {
+                heap.store_direct(a + d, 0);
+            }
+        }
+        let centres_ref = &centres;
+        let acc_ref = &acc;
+        let points_ref = &points;
+        parallel += parallel_phase(sys, threads, |t| {
+            for p in partition(points_ref.len(), threads, t) {
+                let point = &points_ref[p];
+                let c = nearest(point, centres_ref);
+                atomically(sys, t, |tx| {
+                    tm_fetch_add(tx, acc_ref[c], 1)?;
+                    for (d, &coord) in point.iter().enumerate() {
+                        tm_fetch_add(tx, acc_ref[c] + 1 + d, coord)?;
+                    }
+                    Ok(())
+                });
+            }
+        });
+
+        // Sequential reduction: recompute centres, check the invariant.
+        let total: u64 = acc.iter().map(|&a| heap.load_direct(a)).sum();
+        if total != cfg.points as u64 {
+            valid.store(false, Ordering::SeqCst);
+        }
+        for (c, &a) in acc.iter().enumerate() {
+            let count = heap.load_direct(a);
+            if count == 0 {
+                continue;
+            }
+            for (d, centre) in centres[c].iter_mut().enumerate().take(cfg.dims) {
+                *centre = heap.load_direct(a + 1 + d) / count;
+            }
+        }
+    }
+
+    // Checksum: assignment histogram of the final centres (deterministic
+    // given the same centre trajectory; identical across systems because
+    // the reduction is exact integer arithmetic).
+    let mut hist = vec![0u64; cfg.clusters];
+    for p in &points {
+        hist[nearest(p, &centres)] += 1;
+    }
+    let checksum = hist
+        .iter()
+        .fold(0u64, |h, &c| h.wrapping_mul(1099511628211).wrapping_add(c));
+
+    AppResult {
+        validated: valid.load(Ordering::SeqCst),
+        checksum,
+        parallel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rococo_stm::{RococoTm, SeqTm, TinyStm, TmConfig};
+
+    #[test]
+    fn sequential_validates() {
+        let cfg = Config::preset(Preset::Tiny, true);
+        let tm = SeqTm::with_config(TmConfig {
+            heap_words: cfg.heap_words(),
+            max_threads: 1,
+        });
+        assert!(run(&tm, 1, &cfg).validated);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_checksum() {
+        for high in [false, true] {
+            let cfg = Config::preset(Preset::Tiny, high);
+            let seq = run(
+                &SeqTm::with_config(TmConfig {
+                    heap_words: cfg.heap_words(),
+                    max_threads: 1,
+                }),
+                1,
+                &cfg,
+            );
+            let mk = TmConfig {
+                heap_words: cfg.heap_words(),
+                max_threads: 4,
+            };
+            for r in [
+                run(&TinyStm::with_config(mk), 4, &cfg),
+                run(&RococoTm::with_config(mk), 4, &cfg),
+            ] {
+                assert!(r.validated);
+                assert_eq!(
+                    r.checksum, seq.checksum,
+                    "high={high}: integer accumulation is order-independent"
+                );
+            }
+        }
+    }
+}

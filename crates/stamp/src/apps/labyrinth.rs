@@ -1,0 +1,264 @@
+//! labyrinth — transactional maze routing (Lee's algorithm).
+//!
+//! A shared 3-D grid holds cell ownership; each transaction routes one
+//! (source, destination) pair: it explores the grid with a breadth-first
+//! wavefront **reading cells transactionally** (so the snapshot machinery
+//! sees a huge read set — the property Figure 11 highlights for this
+//! benchmark), then claims the chosen path by writing every path cell.
+//! Two concurrent routes crossing the same cells conflict and one retries
+//! against the updated grid.
+
+use crate::apps::AppResult;
+use crate::ds::tm_fetch_add;
+use crate::harness::{parallel_phase, Preset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rococo_stm::{atomically, Abort, TmSystem, Transaction};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// labyrinth parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Grid width.
+    pub x: usize,
+    /// Grid height.
+    pub y: usize,
+    /// Grid depth (layers).
+    pub z: usize,
+    /// Number of (source, destination) route requests.
+    pub routes: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Preset sizes.
+    pub fn preset(p: Preset) -> Self {
+        match p {
+            Preset::Tiny => Self {
+                x: 16,
+                y: 16,
+                z: 2,
+                routes: 12,
+                seed: 0x1ab1,
+            },
+            Preset::Small => Self {
+                x: 32,
+                y: 32,
+                z: 3,
+                routes: 48,
+                seed: 0x1ab1,
+            },
+            Preset::Paper => Self {
+                x: 64,
+                y: 64,
+                z: 3,
+                routes: 128,
+                seed: 0x1ab1,
+            },
+        }
+    }
+
+    fn cells(&self) -> usize {
+        self.x * self.y * self.z
+    }
+
+    /// Heap words needed: the grid plus counters and route flags.
+    pub fn heap_words(&self) -> usize {
+        self.cells() + self.routes + 64
+    }
+}
+
+/// Runs labyrinth on `sys` with `threads` workers.
+pub fn run<S: TmSystem>(sys: &S, threads: usize, cfg: &Config) -> AppResult {
+    let heap = sys.heap();
+    let grid = heap.alloc(cfg.cells());
+    let routed_flags = heap.alloc(cfg.routes); // route id -> 1 if routed
+    let work_counter = heap.alloc(1);
+    let failed = heap.alloc(threads); // per-thread failure tallies
+
+    // Endpoints: distinct free cells, pairwise distinct.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut used = std::collections::HashSet::new();
+    let mut pick = |rng: &mut StdRng| loop {
+        let c = rng.gen_range(0..cfg.cells());
+        if used.insert(c) {
+            return c;
+        }
+    };
+    let endpoints: Vec<(usize, usize)> = (0..cfg.routes)
+        .map(|_| (pick(&mut rng), pick(&mut rng)))
+        .collect();
+    // Pre-claim every route's endpoints so no other route can pave over
+    // them before the owner gets to run.
+    for (route, &(src, dst)) in endpoints.iter().enumerate() {
+        heap.store_direct(grid + src, route as u64 + 1);
+        heap.store_direct(grid + dst, route as u64 + 1);
+    }
+
+    let idx_of = |x: usize, y: usize, z: usize| (z * cfg.y + y) * cfg.x + x;
+    let coords_of = |i: usize| {
+        let x = i % cfg.x;
+        let y = (i / cfg.x) % cfg.y;
+        let z = i / (cfg.x * cfg.y);
+        (x, y, z)
+    };
+    let neighbours = |i: usize| {
+        let (x, y, z) = coords_of(i);
+        let mut out = Vec::with_capacity(6);
+        if x > 0 {
+            out.push(idx_of(x - 1, y, z));
+        }
+        if x + 1 < cfg.x {
+            out.push(idx_of(x + 1, y, z));
+        }
+        if y > 0 {
+            out.push(idx_of(x, y - 1, z));
+        }
+        if y + 1 < cfg.y {
+            out.push(idx_of(x, y + 1, z));
+        }
+        if z > 0 {
+            out.push(idx_of(x, y, z - 1));
+        }
+        if z + 1 < cfg.z {
+            out.push(idx_of(x, y, z + 1));
+        }
+        out
+    };
+
+    // BFS over transactional reads; returns the path if one exists.
+    let route_one = |tx: &mut <S as TmSystem>::Tx<'_>,
+                     route: usize|
+     -> Result<Option<Vec<usize>>, Abort> {
+        let (src, dst) = endpoints[route];
+        let me = route as u64 + 1;
+        let mut parent: HashMap<usize, usize> = HashMap::new();
+        let mut queue = VecDeque::from([src]);
+        parent.insert(src, src);
+        let mut found = false;
+        while let Some(cell) = queue.pop_front() {
+            if cell == dst {
+                found = true;
+                break;
+            }
+            for n in neighbours(cell) {
+                if parent.contains_key(&n) {
+                    continue;
+                }
+                let owner = tx.read(grid + n)?;
+                if owner == 0 || owner == me {
+                    parent.insert(n, cell);
+                    queue.push_back(n);
+                }
+            }
+        }
+        if !found {
+            return Ok(None);
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            cur = parent[&cur];
+            path.push(cur);
+        }
+        Ok(Some(path))
+    };
+
+    let parallel = parallel_phase(sys, threads, |t| {
+        loop {
+            // Grab the next route request.
+            let route = atomically(sys, t, |tx| tm_fetch_add(tx, work_counter, 1)) - 1;
+            if route >= cfg.routes as u64 {
+                break;
+            }
+            let route = route as usize;
+            atomically(sys, t, |tx| {
+                match route_one(tx, route)? {
+                    Some(path) => {
+                        for &cell in &path {
+                            tx.write(grid + cell, route as u64 + 1)?;
+                        }
+                        tx.write(routed_flags + route, 1)?;
+                    }
+                    None => {
+                        tm_fetch_add(tx, failed + t, 1)?;
+                        tx.write(routed_flags + route, 0)?;
+                    }
+                }
+                Ok(())
+            });
+        }
+    });
+
+    // Validation (host side, after all transactions finished):
+    // every routed path's cells are exclusively owned, connected, and
+    // contain both endpoints; routed + failed == routes.
+    let mut routed = 0u64;
+    let mut valid = true;
+    for (route, &(src, dst)) in endpoints.iter().enumerate() {
+        if heap.load_direct(routed_flags + route) != 1 {
+            continue;
+        }
+        routed += 1;
+        let me = route as u64 + 1;
+        let cells: Vec<usize> = (0..cfg.cells())
+            .filter(|&i| heap.load_direct(grid + i) == me)
+            .collect();
+        if !cells.contains(&src) || !cells.contains(&dst) {
+            valid = false;
+            continue;
+        }
+        // Connectivity within owned cells.
+        let set: std::collections::HashSet<usize> = cells.iter().copied().collect();
+        let mut seen = std::collections::HashSet::from([src]);
+        let mut queue = VecDeque::from([src]);
+        while let Some(c) = queue.pop_front() {
+            for n in neighbours(c) {
+                if set.contains(&n) && seen.insert(n) {
+                    queue.push_back(n);
+                }
+            }
+        }
+        if !seen.contains(&dst) {
+            valid = false;
+        }
+    }
+    let failed: u64 = (0..threads).map(|t| heap.load_direct(failed + t)).sum();
+    let validated = valid && routed + failed == cfg.routes as u64;
+    AppResult {
+        validated,
+        checksum: routed.wrapping_mul(257).wrapping_add(failed),
+        parallel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rococo_stm::{RococoTm, SeqTm, TinyStm, TmConfig};
+
+    #[test]
+    fn sequential_routes_and_validates() {
+        let cfg = Config::preset(Preset::Tiny);
+        let tm = SeqTm::with_config(TmConfig {
+            heap_words: cfg.heap_words(),
+            max_threads: 1,
+        });
+        let r = run(&tm, 1, &cfg);
+        assert!(r.validated);
+        assert!(r.checksum > 0, "at least one route must succeed");
+    }
+
+    #[test]
+    fn concurrent_paths_never_overlap() {
+        let cfg = Config::preset(Preset::Tiny);
+        let mk = TmConfig {
+            heap_words: cfg.heap_words(),
+            max_threads: 4,
+        };
+        assert!(run(&TinyStm::with_config(mk), 4, &cfg).validated);
+        assert!(run(&RococoTm::with_config(mk), 4, &cfg).validated);
+    }
+}

@@ -1,0 +1,158 @@
+//! ssca2 — Scalable Synthetic Compact Applications 2, kernel 1.
+//!
+//! The STAMP configuration of SSCA2 exercises kernel 1: constructing a
+//! directed multigraph's adjacency structure in parallel. Transactions are
+//! tiny — append one edge to a node's adjacency list and bump two counters
+//! — and contention is low; the benchmark therefore stresses
+//! per-transaction *overhead* (the paper singles it out as the adverse case
+//! for out-of-core validation).
+
+use crate::apps::AppResult;
+use crate::ds::{tm_fetch_add, TmList};
+use crate::harness::{parallel_phase, partition, Preset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rococo_stm::{atomically, TmSystem};
+
+/// ssca2 parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of graph nodes.
+    pub nodes: usize,
+    /// Number of directed edges (distinct (u, v) pairs).
+    pub edges: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Preset sizes.
+    pub fn preset(p: Preset) -> Self {
+        match p {
+            Preset::Tiny => Self {
+                nodes: 64,
+                edges: 256,
+                seed: 0x55ca2,
+            },
+            Preset::Small => Self {
+                nodes: 512,
+                edges: 4096,
+                seed: 0x55ca2,
+            },
+            Preset::Paper => Self {
+                nodes: 2048,
+                edges: 32768,
+                seed: 0x55ca2,
+            },
+        }
+    }
+
+    /// Heap words needed.
+    pub fn heap_words(&self) -> usize {
+        // degrees + weight counter + per-node list sentinels + edge nodes,
+        // with generous slack: the bump allocator does not reclaim nodes
+        // allocated by aborted (retried) insertions.
+        self.nodes + 8 + self.nodes * 3 + self.edges * 3 * 16 + 4096
+    }
+}
+
+/// Generates `edges` distinct directed edges with weights.
+fn generate_edges(cfg: &Config) -> Vec<(u64, u64, u64)> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(cfg.edges);
+    while out.len() < cfg.edges {
+        let u = rng.gen_range(0..cfg.nodes as u64);
+        let v = rng.gen_range(0..cfg.nodes as u64);
+        if u != v && seen.insert((u, v)) {
+            out.push((u, v, rng.gen_range(1..100u64)));
+        }
+    }
+    out
+}
+
+/// Runs ssca2 on `sys` with `threads` workers.
+pub fn run<S: TmSystem>(sys: &S, threads: usize, cfg: &Config) -> AppResult {
+    let heap = sys.heap();
+    let edges = generate_edges(cfg);
+    let expected_weight: u64 = edges.iter().map(|&(_, _, w)| w).sum();
+
+    // Shared state: per-node degree counters and adjacency lists (like
+    // STAMP's kernel 1, there is no global accumulator inside the
+    // transactions — that would serialise every edge insertion).
+    let degrees: Vec<usize> = (0..cfg.nodes).map(|_| heap.alloc(1)).collect();
+    let adjacency: Vec<TmList> = (0..cfg.nodes).map(|_| TmList::create(heap)).collect();
+
+    let parallel = parallel_phase(sys, threads, |t| {
+        for &(u, v, w) in &edges[partition(edges.len(), threads, t)] {
+            atomically(sys, t, |tx| {
+                adjacency[u as usize].insert_with(tx, heap, v, w)?;
+                tm_fetch_add(tx, degrees[u as usize], 1)?;
+                Ok(())
+            });
+        }
+    });
+
+    // Validation: degree sum equals the edge count, adjacency lists agree
+    // with the degrees, and the weight accumulator matches the input.
+    let degree_sum: u64 = degrees.iter().map(|&d| heap.load_direct(d)).sum();
+    let mut adj_total = 0usize;
+    let mut adj_weight = 0u64;
+    let mut per_node_consistent = true;
+    for (n, list) in adjacency.iter().enumerate() {
+        let entries = atomically(sys, 0, |tx| list.entries(tx));
+        per_node_consistent &= entries.len() as u64 == heap.load_direct(degrees[n]);
+        adj_total += entries.len();
+        adj_weight += entries.iter().map(|&(_, w)| w).sum::<u64>();
+    }
+    let validated = per_node_consistent
+        && degree_sum == cfg.edges as u64
+        && adj_total == cfg.edges
+        && adj_weight == expected_weight;
+    AppResult {
+        validated,
+        checksum: adj_weight,
+        parallel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rococo_stm::{RococoTm, SeqTm, TinyStm, TmConfig, TsxHtm};
+
+    #[test]
+    fn sequential_validates() {
+        let cfg = Config::preset(Preset::Tiny);
+        let tm = SeqTm::with_config(TmConfig {
+            heap_words: cfg.heap_words(),
+            max_threads: 1,
+        });
+        let r = run(&tm, 1, &cfg);
+        assert!(r.validated);
+    }
+
+    #[test]
+    fn all_systems_agree() {
+        let cfg = Config::preset(Preset::Tiny);
+        let mk = |_| TmConfig {
+            heap_words: cfg.heap_words(),
+            max_threads: 4,
+        };
+        let seq = run(
+            &SeqTm::with_config(TmConfig {
+                heap_words: cfg.heap_words(),
+                max_threads: 1,
+            }),
+            1,
+            &cfg,
+        );
+        let tiny = run(&TinyStm::with_config(mk(())), 4, &cfg);
+        let htm = run(&TsxHtm::with_config(mk(())), 4, &cfg);
+        let roc = run(&RococoTm::with_config(mk(())), 4, &cfg);
+        for r in [&tiny, &htm, &roc] {
+            assert!(r.validated);
+            assert_eq!(r.checksum, seq.checksum, "deterministic total weight");
+        }
+    }
+}

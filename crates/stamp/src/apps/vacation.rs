@@ -1,0 +1,253 @@
+//! vacation — a travel-reservation system over ordered-map tables.
+//!
+//! Three resource tables (cars, flights, rooms) hold `(available, price)`
+//! per item id; a customer table tracks per-customer bills. Client tasks
+//! are mixes of: **make-reservation** (query several random items per
+//! table, reserve the cheapest available one), **update-tables** (reprice
+//! random items), and **check-customer** (read a customer's bill). The
+//! low/high-contention presets differ in how concentrated the queried id
+//! range is, mirroring STAMP's `-q` parameter.
+
+use crate::apps::AppResult;
+use crate::ds::{tm_fetch_add, TmSkipList};
+use crate::harness::{parallel_phase, partition, Preset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rococo_stm::{atomically, TmSystem};
+
+/// vacation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Config {
+    /// Items per resource table.
+    pub relations: usize,
+    /// Number of customers.
+    pub customers: usize,
+    /// Client tasks to execute.
+    pub tasks: usize,
+    /// Random item queries per reservation task.
+    pub queries_per_task: usize,
+    /// Fraction of the id range tasks touch (1.0 = whole table; smaller =
+    /// more contention).
+    pub query_range: f64,
+    /// Percent of tasks that are reservations (the rest split between
+    /// repricing and customer checks).
+    pub reserve_pct: u32,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Preset sizes; `high_contention` narrows the queried range and
+    /// increases the update share, like STAMP's vacation-high.
+    pub fn preset(p: Preset, high_contention: bool) -> Self {
+        let (query_range, reserve_pct) = if high_contention {
+            (0.05, 60)
+        } else {
+            (0.6, 90)
+        };
+        match p {
+            Preset::Tiny => Self {
+                relations: 64,
+                customers: 32,
+                tasks: 400,
+                queries_per_task: 4,
+                query_range,
+                reserve_pct,
+                seed: 0xace,
+            },
+            Preset::Small => Self {
+                relations: 1024,
+                customers: 256,
+                tasks: 4096,
+                queries_per_task: 8,
+                query_range,
+                reserve_pct,
+                seed: 0xace,
+            },
+            Preset::Paper => Self {
+                relations: 8192,
+                customers: 1024,
+                tasks: 32768,
+                queries_per_task: 10,
+                query_range,
+                reserve_pct,
+                seed: 0xace,
+            },
+        }
+    }
+
+    /// Heap words needed.
+    pub fn heap_words(&self) -> usize {
+        // 3 resource tables + customer table: skip-list nodes are at most
+        // 15 words; populated sequentially (no abort leaks), plus slack.
+        (3 * self.relations + self.customers) * 16 + 8192
+    }
+}
+
+const TABLES: usize = 3;
+
+fn pack(avail: u64, price: u64) -> u64 {
+    (avail << 32) | price
+}
+
+fn unpack(v: u64) -> (u64, u64) {
+    (v >> 32, v & 0xffff_ffff)
+}
+
+/// Runs vacation on `sys` with `threads` workers.
+pub fn run<S: TmSystem>(sys: &S, threads: usize, cfg: &Config) -> AppResult {
+    let heap = sys.heap();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Populate the tables.
+    let tables: Vec<TmSkipList> = (0..TABLES).map(|_| TmSkipList::create(heap)).collect();
+    let customers = TmSkipList::create(heap);
+    let initial_avail = 10u64;
+    {
+        use rococo_stm::atomically as setup;
+        for table in &tables {
+            for id in 0..cfg.relations as u64 {
+                let price = rng.gen_range(100..1000u64);
+                setup(sys, 0, |tx| {
+                    table.insert(tx, heap, id, pack(initial_avail, price))
+                });
+            }
+        }
+        for c in 0..cfg.customers as u64 {
+            setup(sys, 0, |tx| customers.insert(tx, heap, c, 0));
+        }
+    }
+    // Per-thread audit tallies (a shared counter would serialise every
+    // reservation; STAMP's manager keeps no such global).
+    let reservations_made = heap.alloc(threads);
+    let revenue = heap.alloc(threads);
+
+    let range = ((cfg.relations as f64 * cfg.query_range) as u64).max(2);
+    let parallel = parallel_phase(sys, threads, |t| {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (t as u64) << 32);
+        for task in partition(cfg.tasks, threads, t) {
+            let kind = rng.gen_range(0..100u32);
+            if kind < cfg.reserve_pct {
+                // Make reservation: in each table, query q random ids and
+                // reserve the cheapest available.
+                let customer = rng.gen_range(0..cfg.customers as u64);
+                let ids: Vec<Vec<u64>> = (0..TABLES)
+                    .map(|_| {
+                        (0..cfg.queries_per_task)
+                            .map(|_| rng.gen_range(0..range))
+                            .collect()
+                    })
+                    .collect();
+                atomically(sys, t, |tx| {
+                    let mut bill = 0u64;
+                    let mut booked = 0u64;
+                    for (table, ids) in tables.iter().zip(&ids) {
+                        let mut best: Option<(u64, u64, u64)> = None; // (price, id, packed)
+                        for &id in ids {
+                            if let Some(v) = table.get(tx, id)? {
+                                let (avail, price) = unpack(v);
+                                if avail > 0 && best.is_none_or(|(bp, _, _)| price < bp) {
+                                    best = Some((price, id, v));
+                                }
+                            }
+                        }
+                        if let Some((price, id, v)) = best {
+                            let (avail, _) = unpack(v);
+                            table.update(tx, id, pack(avail - 1, price))?;
+                            bill += price;
+                            booked += 1;
+                        }
+                    }
+                    if booked > 0 {
+                        let old = customers.get(tx, customer)?.unwrap_or(0);
+                        customers.update(tx, customer, old + bill)?;
+                        tm_fetch_add(tx, reservations_made + t, booked)?;
+                        tm_fetch_add(tx, revenue + t, bill)?;
+                    }
+                    Ok(())
+                });
+            } else if kind < cfg.reserve_pct + (100 - cfg.reserve_pct) / 2 {
+                // Update tables: reprice a random item in each table.
+                let repricings: Vec<(u64, u64)> = (0..TABLES as u64)
+                    .map(|i| (rng.gen_range(0..range), 100 + (task as u64 * 7 + i) % 900))
+                    .collect();
+                atomically(sys, t, |tx| {
+                    for (table, &(id, new_price)) in tables.iter().zip(&repricings) {
+                        if let Some(v) = table.get(tx, id)? {
+                            let (avail, _) = unpack(v);
+                            table.update(tx, id, pack(avail, new_price))?;
+                        }
+                    }
+                    Ok(())
+                });
+            } else {
+                // Check customer: read-only audit of one bill.
+                let customer = rng.gen_range(0..cfg.customers as u64);
+                atomically(sys, t, |tx| {
+                    let _ = customers.get(tx, customer)?;
+                    Ok(())
+                });
+            }
+        }
+    });
+
+    // Validation: conservation — resources handed out across all tables
+    // equal the reservation counter, and billed revenue equals the sum of
+    // customer bills.
+    let handed_out: u64 = atomically(sys, 0, |tx| {
+        let mut total = 0;
+        for table in &tables {
+            for (_, v) in table.entries(tx)? {
+                let (avail, _) = unpack(v);
+                total += initial_avail - avail;
+            }
+        }
+        Ok(total)
+    });
+    let billed: u64 = atomically(sys, 0, |tx| {
+        Ok(customers.entries(tx)?.iter().map(|&(_, b)| b).sum())
+    });
+    let made: u64 = (0..threads)
+        .map(|t| heap.load_direct(reservations_made + t))
+        .sum();
+    let rev: u64 = (0..threads).map(|t| heap.load_direct(revenue + t)).sum();
+    let validated = handed_out == made && billed == rev;
+
+    AppResult {
+        validated,
+        checksum: made.wrapping_mul(31).wrapping_add(rev),
+        parallel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rococo_stm::{RococoTm, SeqTm, TinyStm, TmConfig, TsxHtm};
+
+    #[test]
+    fn sequential_validates() {
+        for high in [false, true] {
+            let cfg = Config::preset(Preset::Tiny, high);
+            let tm = SeqTm::with_config(TmConfig {
+                heap_words: cfg.heap_words(),
+                max_threads: 1,
+            });
+            let r = run(&tm, 1, &cfg);
+            assert!(r.validated, "high={high}");
+            assert!(r.checksum > 0, "some reservations must happen");
+        }
+    }
+
+    #[test]
+    fn conservation_holds_concurrently() {
+        let cfg = Config::preset(Preset::Tiny, true);
+        let mk = TmConfig {
+            heap_words: cfg.heap_words(),
+            max_threads: 4,
+        };
+        assert!(run(&TinyStm::with_config(mk), 4, &cfg).validated);
+        assert!(run(&RococoTm::with_config(mk), 4, &cfg).validated);
+        assert!(run(&TsxHtm::with_config(mk), 4, &cfg).validated);
+    }
+}

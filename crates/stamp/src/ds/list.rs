@@ -1,0 +1,225 @@
+//! A sorted singly-linked transactional list map.
+
+use rococo_stm::{Abort, Addr, TmHeap, Transaction, NULL};
+
+// Node layout: [key, value, next].
+const KEY: usize = 0;
+const VAL: usize = 1;
+const NEXT: usize = 2;
+const NODE_WORDS: usize = 3;
+
+/// A sorted linked-list map from `u64` keys to `u64` values, the workhorse
+/// of hash-map buckets and adjacency lists.
+///
+/// The handle is a plain address of a sentinel head node; copies alias the
+/// same list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TmList {
+    head: Addr,
+}
+
+impl TmList {
+    /// Allocates an empty list (non-transactional; setup code only).
+    pub fn create(heap: &TmHeap) -> Self {
+        let head = heap.alloc(NODE_WORDS);
+        heap.store_direct(head + NEXT, NULL as u64);
+        Self { head }
+    }
+
+    /// Inserts `key → val`, allocating the node from `heap`. Returns
+    /// `false` (without updating) if the key was already present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn insert_with<T: Transaction>(
+        &self,
+        tx: &mut T,
+        heap: &TmHeap,
+        key: u64,
+        val: u64,
+    ) -> Result<bool, Abort> {
+        let (prev, found) = self.locate(tx, key)?;
+        if found.is_some() {
+            return Ok(false);
+        }
+        let next = tx.read(prev + NEXT)?;
+        let node = heap.alloc(NODE_WORDS);
+        tx.write(node + KEY, key)?;
+        tx.write(node + VAL, val)?;
+        tx.write(node + NEXT, next)?;
+        tx.write(prev + NEXT, node as u64)?;
+        Ok(true)
+    }
+
+    /// Looks up `key`, returning its value if present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn get<T: Transaction>(&self, tx: &mut T, key: u64) -> Result<Option<u64>, Abort> {
+        let (_, found) = self.locate(tx, key)?;
+        match found {
+            Some(node) => Ok(Some(tx.read(node + VAL)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Updates the value of an existing key, or inserts it. Returns the
+    /// previous value if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn put<T: Transaction>(
+        &self,
+        tx: &mut T,
+        heap: &TmHeap,
+        key: u64,
+        val: u64,
+    ) -> Result<Option<u64>, Abort> {
+        let (prev, found) = self.locate(tx, key)?;
+        if let Some(node) = found {
+            let old = tx.read(node + VAL)?;
+            tx.write(node + VAL, val)?;
+            return Ok(Some(old));
+        }
+        let next = tx.read(prev + NEXT)?;
+        let node = heap.alloc(NODE_WORDS);
+        tx.write(node + KEY, key)?;
+        tx.write(node + VAL, val)?;
+        tx.write(node + NEXT, next)?;
+        tx.write(prev + NEXT, node as u64)?;
+        Ok(None)
+    }
+
+    /// Removes `key`, returning its value if it was present. The node is
+    /// unlinked (the bump allocator does not reuse it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn remove<T: Transaction>(&self, tx: &mut T, key: u64) -> Result<Option<u64>, Abort> {
+        let (prev, found) = self.locate(tx, key)?;
+        match found {
+            Some(node) => {
+                let val = tx.read(node + VAL)?;
+                let next = tx.read(node + NEXT)?;
+                tx.write(prev + NEXT, next)?;
+                Ok(Some(val))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Whether the list holds no entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn is_empty<T: Transaction>(&self, tx: &mut T) -> Result<bool, Abort> {
+        Ok(tx.read(self.head + NEXT)? == NULL as u64)
+    }
+
+    /// Collects all `(key, value)` pairs in key order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn entries<T: Transaction>(&self, tx: &mut T) -> Result<Vec<(u64, u64)>, Abort> {
+        let mut out = Vec::new();
+        let mut node = tx.read(self.head + NEXT)? as Addr;
+        while node != NULL {
+            out.push((tx.read(node + KEY)?, tx.read(node + VAL)?));
+            node = tx.read(node + NEXT)? as Addr;
+        }
+        Ok(out)
+    }
+
+    /// Walks to the insertion point of `key`: returns the predecessor node
+    /// and the node holding `key`, if present.
+    fn locate<T: Transaction>(&self, tx: &mut T, key: u64) -> Result<(Addr, Option<Addr>), Abort> {
+        let mut prev = self.head;
+        let mut node = tx.read(prev + NEXT)? as Addr;
+        while node != NULL {
+            let k = tx.read(node + KEY)?;
+            if k == key {
+                return Ok((prev, Some(node)));
+            }
+            if k > key {
+                break;
+            }
+            prev = node;
+            node = tx.read(node + NEXT)? as Addr;
+        }
+        Ok((prev, None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rococo_stm::{atomically, SeqTm, TmConfig, TmSystem};
+
+    fn setup() -> (SeqTm, TmList) {
+        let tm = SeqTm::with_config(TmConfig {
+            heap_words: 4096,
+            max_threads: 1,
+        });
+        let list = TmList::create(tm.heap());
+        (tm, list)
+    }
+
+    #[test]
+    fn insert_get_sorted() {
+        let (tm, list) = setup();
+        atomically(&tm, 0, |tx| {
+            assert!(list.insert_with(tx, tm.heap(), 5, 50)?);
+            assert!(list.insert_with(tx, tm.heap(), 1, 10)?);
+            assert!(list.insert_with(tx, tm.heap(), 9, 90)?);
+            assert!(!list.insert_with(tx, tm.heap(), 5, 999)?, "duplicate");
+            assert_eq!(list.get(tx, 5)?, Some(50));
+            assert_eq!(list.get(tx, 2)?, None);
+            assert_eq!(list.entries(tx)?, vec![(1, 10), (5, 50), (9, 90)]);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn remove_unlinks() {
+        let (tm, list) = setup();
+        atomically(&tm, 0, |tx| {
+            for k in [3u64, 1, 2] {
+                list.insert_with(tx, tm.heap(), k, k * 10)?;
+            }
+            assert_eq!(list.remove(tx, 2)?, Some(20));
+            assert_eq!(list.remove(tx, 2)?, None);
+            assert_eq!(list.entries(tx)?, vec![(1, 10), (3, 30)]);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn put_overwrites() {
+        let (tm, list) = setup();
+        atomically(&tm, 0, |tx| {
+            assert_eq!(list.put(tx, tm.heap(), 4, 1)?, None);
+            assert_eq!(list.put(tx, tm.heap(), 4, 2)?, Some(1));
+            assert_eq!(list.get(tx, 4)?, Some(2));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn empty_checks() {
+        let (tm, list) = setup();
+        atomically(&tm, 0, |tx| {
+            assert!(list.is_empty(tx)?);
+            list.insert_with(tx, tm.heap(), 1, 1)?;
+            assert!(!list.is_empty(tx)?);
+            list.remove(tx, 1)?;
+            assert!(list.is_empty(tx)?);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,32 @@
+//! Transactional data structures on the word-addressed heap.
+//!
+//! Every structure is a [`Copy`] handle holding heap addresses; operations
+//! take any in-flight [`rococo_stm::Transaction`] and compose
+//! into larger transactions. Construction (`create`) is non-transactional
+//! and belongs in single-threaded setup code.
+
+mod hashmap;
+mod list;
+mod pq;
+mod queue;
+mod skiplist;
+
+pub use hashmap::TmHashMap;
+pub use list::TmList;
+pub use pq::TmPq;
+pub use queue::TmQueue;
+pub use skiplist::TmSkipList;
+
+use rococo_stm::{Abort, Addr, Transaction, Word};
+
+/// Transactionally adds `delta` to the word at `addr`, returning the new
+/// value. The bread-and-butter shared counter of `ssca2` and `kmeans`.
+///
+/// # Errors
+///
+/// Propagates any [`Abort`] from the underlying reads/writes.
+pub fn tm_fetch_add<T: Transaction>(tx: &mut T, addr: Addr, delta: Word) -> Result<Word, Abort> {
+    let v = tx.read(addr)?.wrapping_add(delta);
+    tx.write(addr, v)?;
+    Ok(v)
+}

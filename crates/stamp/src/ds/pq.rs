@@ -1,0 +1,219 @@
+//! A bounded transactional binary min-heap (priority queue).
+
+use rococo_stm::{Abort, Addr, TmHeap, Transaction};
+
+// Layout: [size, cap, (key, val) * cap].
+const SIZE: usize = 0;
+const CAP: usize = 1;
+const DATA: usize = 2;
+
+/// A bounded min-priority queue of `(key, value)` pairs (`yada`'s
+/// bad-triangle work heap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TmPq {
+    base: Addr,
+}
+
+impl TmPq {
+    /// Allocates an empty heap with room for `cap` entries
+    /// (non-transactional).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn create(heap: &TmHeap, cap: usize) -> Self {
+        assert!(cap > 0, "priority-queue capacity must be positive");
+        let base = heap.alloc(DATA + cap * 2);
+        heap.store_direct(base + CAP, cap as u64);
+        Self { base }
+    }
+
+    fn key_at(&self, i: usize) -> Addr {
+        self.base + DATA + i * 2
+    }
+
+    fn val_at(&self, i: usize) -> Addr {
+        self.base + DATA + i * 2 + 1
+    }
+
+    /// Pushes `(key, val)`; returns `false` if the heap is full.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn push<T: Transaction>(&self, tx: &mut T, key: u64, val: u64) -> Result<bool, Abort> {
+        let size = tx.read(self.base + SIZE)? as usize;
+        let cap = tx.read(self.base + CAP)? as usize;
+        if size >= cap {
+            return Ok(false);
+        }
+        // Sift up.
+        let mut i = size;
+        tx.write(self.key_at(i), key)?;
+        tx.write(self.val_at(i), val)?;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            let pk = tx.read(self.key_at(parent))?;
+            let ck = tx.read(self.key_at(i))?;
+            if pk <= ck {
+                break;
+            }
+            let pv = tx.read(self.val_at(parent))?;
+            let cv = tx.read(self.val_at(i))?;
+            tx.write(self.key_at(parent), ck)?;
+            tx.write(self.val_at(parent), cv)?;
+            tx.write(self.key_at(i), pk)?;
+            tx.write(self.val_at(i), pv)?;
+            i = parent;
+        }
+        tx.write(self.base + SIZE, size as u64 + 1)?;
+        Ok(true)
+    }
+
+    /// Pops the minimum-key entry, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn pop_min<T: Transaction>(&self, tx: &mut T) -> Result<Option<(u64, u64)>, Abort> {
+        let size = tx.read(self.base + SIZE)? as usize;
+        if size == 0 {
+            return Ok(None);
+        }
+        let min_key = tx.read(self.key_at(0))?;
+        let min_val = tx.read(self.val_at(0))?;
+        let last_k = tx.read(self.key_at(size - 1))?;
+        let last_v = tx.read(self.val_at(size - 1))?;
+        tx.write(self.key_at(0), last_k)?;
+        tx.write(self.val_at(0), last_v)?;
+        let size = size - 1;
+        tx.write(self.base + SIZE, size as u64)?;
+        // Sift down.
+        let mut i = 0usize;
+        loop {
+            let l = i * 2 + 1;
+            let r = i * 2 + 2;
+            let mut smallest = i;
+            let mut sk = tx.read(self.key_at(i))?;
+            if l < size {
+                let lk = tx.read(self.key_at(l))?;
+                if lk < sk {
+                    smallest = l;
+                    sk = lk;
+                }
+            }
+            if r < size {
+                let rk = tx.read(self.key_at(r))?;
+                if rk < sk {
+                    smallest = r;
+                }
+            }
+            if smallest == i {
+                break;
+            }
+            let ik = tx.read(self.key_at(i))?;
+            let iv = tx.read(self.val_at(i))?;
+            let jk = tx.read(self.key_at(smallest))?;
+            let jv = tx.read(self.val_at(smallest))?;
+            tx.write(self.key_at(i), jk)?;
+            tx.write(self.val_at(i), jv)?;
+            tx.write(self.key_at(smallest), ik)?;
+            tx.write(self.val_at(smallest), iv)?;
+            i = smallest;
+        }
+        Ok(Some((min_key, min_val)))
+    }
+
+    /// Number of stored entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn len<T: Transaction>(&self, tx: &mut T) -> Result<u64, Abort> {
+        tx.read(self.base + SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rococo_stm::{atomically, SeqTm, TmConfig, TmSystem};
+
+    fn setup(cap: usize) -> (SeqTm, TmPq) {
+        let tm = SeqTm::with_config(TmConfig {
+            heap_words: 4096,
+            max_threads: 1,
+        });
+        let pq = TmPq::create(tm.heap(), cap);
+        (tm, pq)
+    }
+
+    #[test]
+    fn pops_in_key_order() {
+        let (tm, pq) = setup(32);
+        atomically(&tm, 0, |tx| {
+            for k in [9u64, 3, 7, 1, 5] {
+                assert!(pq.push(tx, k, k * 100)?);
+            }
+            let mut got = Vec::new();
+            while let Some((k, v)) = pq.pop_min(tx)? {
+                assert_eq!(v, k * 100);
+                got.push(k);
+            }
+            assert_eq!(got, vec![1, 3, 5, 7, 9]);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn full_heap_rejects() {
+        let (tm, pq) = setup(2);
+        atomically(&tm, 0, |tx| {
+            assert!(pq.push(tx, 1, 0)?);
+            assert!(pq.push(tx, 2, 0)?);
+            assert!(!pq.push(tx, 3, 0)?);
+            assert_eq!(pq.len(tx)?, 2);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn duplicate_keys_allowed() {
+        let (tm, pq) = setup(8);
+        atomically(&tm, 0, |tx| {
+            pq.push(tx, 4, 1)?;
+            pq.push(tx, 4, 2)?;
+            let a = pq.pop_min(tx)?.unwrap();
+            let b = pq.pop_min(tx)?.unwrap();
+            assert_eq!(a.0, 4);
+            assert_eq!(b.0, 4);
+            assert_ne!(a.1, b.1);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn interleaved_push_pop_is_a_heap() {
+        let (tm, pq) = setup(64);
+        atomically(&tm, 0, |tx| {
+            let mut x = 9u64;
+            let mut model = std::collections::BinaryHeap::new();
+            for step in 0..200 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if step % 3 != 2 {
+                    let k = x % 1000;
+                    if pq.push(tx, k, 0)? {
+                        model.push(std::cmp::Reverse(k));
+                    }
+                } else {
+                    let got = pq.pop_min(tx)?.map(|(k, _)| k);
+                    let want = model.pop().map(|std::cmp::Reverse(k)| k);
+                    assert_eq!(got, want, "step {step}");
+                }
+            }
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,168 @@
+//! A bounded transactional FIFO queue.
+
+use rococo_stm::{Abort, Addr, TmHeap, Transaction};
+
+// Layout: [head, tail, cap, data...]; head/tail are monotonically
+// increasing counters, slot = counter % cap.
+const HEAD: usize = 0;
+const TAIL: usize = 1;
+const CAP: usize = 2;
+const DATA: usize = 3;
+
+/// A bounded FIFO queue of `u64` values (packet/work queues of `intruder`
+/// and `labyrinth`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TmQueue {
+    base: Addr,
+}
+
+impl TmQueue {
+    /// Allocates an empty queue with capacity `cap` (non-transactional).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn create(heap: &TmHeap, cap: usize) -> Self {
+        assert!(cap > 0, "queue capacity must be positive");
+        let base = heap.alloc(DATA + cap);
+        heap.store_direct(base + CAP, cap as u64);
+        Self { base }
+    }
+
+    /// Enqueues `val`; returns `false` if the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn push<T: Transaction>(&self, tx: &mut T, val: u64) -> Result<bool, Abort> {
+        let head = tx.read(self.base + HEAD)?;
+        let tail = tx.read(self.base + TAIL)?;
+        let cap = tx.read(self.base + CAP)?;
+        if tail - head >= cap {
+            return Ok(false);
+        }
+        tx.write(self.base + DATA + (tail % cap) as usize, val)?;
+        tx.write(self.base + TAIL, tail + 1)?;
+        Ok(true)
+    }
+
+    /// Dequeues the oldest value, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn pop<T: Transaction>(&self, tx: &mut T) -> Result<Option<u64>, Abort> {
+        let head = tx.read(self.base + HEAD)?;
+        let tail = tx.read(self.base + TAIL)?;
+        if head == tail {
+            return Ok(None);
+        }
+        let cap = tx.read(self.base + CAP)?;
+        let val = tx.read(self.base + DATA + (head % cap) as usize)?;
+        tx.write(self.base + HEAD, head + 1)?;
+        Ok(Some(val))
+    }
+
+    /// Number of queued values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn len<T: Transaction>(&self, tx: &mut T) -> Result<u64, Abort> {
+        Ok(tx.read(self.base + TAIL)? - tx.read(self.base + HEAD)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rococo_stm::{atomically, SeqTm, TinyStm, TmConfig, TmSystem};
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let tm = SeqTm::with_config(TmConfig {
+            heap_words: 64,
+            max_threads: 1,
+        });
+        let q = TmQueue::create(tm.heap(), 4);
+        atomically(&tm, 0, |tx| {
+            assert_eq!(q.pop(tx)?, None);
+            assert!(q.push(tx, 1)?);
+            assert!(q.push(tx, 2)?);
+            assert_eq!(q.len(tx)?, 2);
+            assert_eq!(q.pop(tx)?, Some(1));
+            assert_eq!(q.pop(tx)?, Some(2));
+            assert_eq!(q.pop(tx)?, None);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let tm = SeqTm::with_config(TmConfig {
+            heap_words: 64,
+            max_threads: 1,
+        });
+        let q = TmQueue::create(tm.heap(), 2);
+        atomically(&tm, 0, |tx| {
+            assert!(q.push(tx, 1)?);
+            assert!(q.push(tx, 2)?);
+            assert!(!q.push(tx, 3)?);
+            q.pop(tx)?;
+            assert!(q.push(tx, 3)?, "wraparound after pop");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_conserve_items() {
+        let tm = Arc::new(TinyStm::with_config(TmConfig {
+            heap_words: 4096,
+            max_threads: 8,
+        }));
+        let q = TmQueue::create(tm.heap(), 1024);
+        let produced_per_thread = 300u64;
+        let mut joins = Vec::new();
+        for t in 0..4u64 {
+            let tm = tm.clone();
+            joins.push(std::thread::spawn(move || {
+                for i in 0..produced_per_thread {
+                    loop {
+                        let ok =
+                            atomically(&*tm, t as usize, |tx| q.push(tx, t * 1_000 + i));
+                        if ok {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for t in 4..8u64 {
+            let tm = tm.clone();
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while got.len() < (produced_per_thread as usize) {
+                    if let Some(v) = atomically(&*tm, t as usize, |tx| q.pop(tx)) {
+                        got.push(v);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                got
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 1200, "every pushed item popped exactly once");
+    }
+}

@@ -1,0 +1,267 @@
+//! A deterministic transactional skip list (ordered map).
+//!
+//! STAMP's `vacation` and `yada` use red-black trees; this port substitutes
+//! a skip list whose node heights derive deterministically from the key
+//! hash. The transactional footprint is the same `O(log n)` reads per
+//! lookup and `O(log n)` writes per update, without the long rebalancing
+//! write chains that make tree rotations abort-prone — the standard choice
+//! for TM data-structure benchmarks.
+
+use rococo_stm::{Abort, Addr, TmHeap, Transaction, NULL};
+
+/// Maximum tower height (supports ~2^20 keys comfortably).
+const MAX_HEIGHT: usize = 12;
+
+// Node layout: [key, value, height, next_0, ..., next_{height-1}].
+const KEY: usize = 0;
+const VAL: usize = 1;
+const HEIGHT: usize = 2;
+const TOWER: usize = 3;
+
+/// A sorted transactional map from `u64` keys to `u64` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TmSkipList {
+    head: Addr,
+}
+
+/// Deterministic height for a key: a hash's trailing ones, geometric with
+/// p = 1/2, truncated to [1, MAX_HEIGHT].
+fn height_of(key: u64) -> usize {
+    let h = key
+        .wrapping_mul(0xff51_afd7_ed55_8ccd)
+        .rotate_right(33)
+        .wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    ((h.trailing_ones() as usize) + 1).min(MAX_HEIGHT)
+}
+
+impl TmSkipList {
+    /// Allocates an empty skip list (non-transactional).
+    pub fn create(heap: &TmHeap) -> Self {
+        let head = heap.alloc(TOWER + MAX_HEIGHT);
+        heap.store_direct(head + HEIGHT, MAX_HEIGHT as u64);
+        for lvl in 0..MAX_HEIGHT {
+            heap.store_direct(head + TOWER + lvl, NULL as u64);
+        }
+        Self { head }
+    }
+
+    /// Walks the tower, recording the predecessor at every level.
+    /// Returns (`preds`, node holding `key` if present).
+    fn locate<T: Transaction>(
+        &self,
+        tx: &mut T,
+        key: u64,
+    ) -> Result<([Addr; MAX_HEIGHT], Option<Addr>), Abort> {
+        let mut preds = [self.head; MAX_HEIGHT];
+        let mut node = self.head;
+        for lvl in (0..MAX_HEIGHT).rev() {
+            loop {
+                let next = tx.read(node + TOWER + lvl)? as Addr;
+                if next == NULL {
+                    break;
+                }
+                let k = tx.read(next + KEY)?;
+                if k < key {
+                    node = next;
+                } else {
+                    break;
+                }
+            }
+            preds[lvl] = node;
+        }
+        let candidate = tx.read(node + TOWER)? as Addr; // level 0 successor
+        if candidate != NULL && tx.read(candidate + KEY)? == key {
+            Ok((preds, Some(candidate)))
+        } else {
+            Ok((preds, None))
+        }
+    }
+
+    /// Inserts `key → val`; `false` if the key already existed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn insert<T: Transaction>(
+        &self,
+        tx: &mut T,
+        heap: &TmHeap,
+        key: u64,
+        val: u64,
+    ) -> Result<bool, Abort> {
+        let (preds, found) = self.locate(tx, key)?;
+        if found.is_some() {
+            return Ok(false);
+        }
+        let h = height_of(key);
+        let node = heap.alloc(TOWER + h);
+        tx.write(node + KEY, key)?;
+        tx.write(node + VAL, val)?;
+        tx.write(node + HEIGHT, h as u64)?;
+        for (lvl, pred) in preds.iter().enumerate().take(h) {
+            let next = tx.read(pred + TOWER + lvl)?;
+            tx.write(node + TOWER + lvl, next)?;
+            tx.write(pred + TOWER + lvl, node as u64)?;
+        }
+        Ok(true)
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn get<T: Transaction>(&self, tx: &mut T, key: u64) -> Result<Option<u64>, Abort> {
+        let (_, found) = self.locate(tx, key)?;
+        match found {
+            Some(node) => Ok(Some(tx.read(node + VAL)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Overwrites the value of an existing key; returns `false` if absent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn update<T: Transaction>(&self, tx: &mut T, key: u64, val: u64) -> Result<bool, Abort> {
+        let (_, found) = self.locate(tx, key)?;
+        match found {
+            Some(node) => {
+                tx.write(node + VAL, val)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Removes `key`, returning its value if present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn remove<T: Transaction>(&self, tx: &mut T, key: u64) -> Result<Option<u64>, Abort> {
+        let (preds, found) = self.locate(tx, key)?;
+        let Some(node) = found else {
+            return Ok(None);
+        };
+        let val = tx.read(node + VAL)?;
+        let h = tx.read(node + HEIGHT)? as usize;
+        for (lvl, pred) in preds.iter().enumerate().take(h) {
+            let next = tx.read(node + TOWER + lvl)?;
+            tx.write(pred + TOWER + lvl, next)?;
+        }
+        Ok(Some(val))
+    }
+
+    /// Collects all `(key, value)` pairs in ascending key order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn entries<T: Transaction>(&self, tx: &mut T) -> Result<Vec<(u64, u64)>, Abort> {
+        let mut out = Vec::new();
+        let mut node = tx.read(self.head + TOWER)? as Addr;
+        while node != NULL {
+            out.push((tx.read(node + KEY)?, tx.read(node + VAL)?));
+            node = tx.read(node + TOWER)? as Addr;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rococo_stm::{atomically, RococoTm, SeqTm, TmConfig, TmSystem};
+    use std::sync::Arc;
+
+    fn setup() -> (SeqTm, TmSkipList) {
+        let tm = SeqTm::with_config(TmConfig {
+            heap_words: 1 << 16,
+            max_threads: 1,
+        });
+        let sl = TmSkipList::create(tm.heap());
+        (tm, sl)
+    }
+
+    #[test]
+    fn sorted_insert_get() {
+        let (tm, sl) = setup();
+        atomically(&tm, 0, |tx| {
+            for k in [40u64, 10, 30, 20, 50] {
+                assert!(sl.insert(tx, tm.heap(), k, k + 1)?);
+            }
+            assert!(!sl.insert(tx, tm.heap(), 30, 0)?);
+            assert_eq!(sl.get(tx, 30)?, Some(31));
+            assert_eq!(sl.get(tx, 35)?, None);
+            let keys: Vec<u64> = sl.entries(tx)?.iter().map(|&(k, _)| k).collect();
+            assert_eq!(keys, vec![10, 20, 30, 40, 50]);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn remove_and_update() {
+        let (tm, sl) = setup();
+        atomically(&tm, 0, |tx| {
+            for k in 0..64u64 {
+                sl.insert(tx, tm.heap(), k, 0)?;
+            }
+            assert_eq!(sl.remove(tx, 31)?, Some(0));
+            assert_eq!(sl.remove(tx, 31)?, None);
+            assert!(sl.update(tx, 32, 99)?);
+            assert!(!sl.update(tx, 31, 99)?);
+            assert_eq!(sl.get(tx, 32)?, Some(99));
+            assert_eq!(sl.entries(tx)?.len(), 63);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn large_population_stays_sorted() {
+        let (tm, sl) = setup();
+        atomically(&tm, 0, |tx| {
+            let mut x = 12345u64;
+            for _ in 0..500 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                sl.insert(tx, tm.heap(), x % 10_000, x)?;
+            }
+            let entries = sl.entries(tx)?;
+            assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let tm = Arc::new(RococoTm::with_config(TmConfig {
+            heap_words: 1 << 18,
+            max_threads: 4,
+        }));
+        let sl = TmSkipList::create(tm.heap());
+        let mut joins = Vec::new();
+        for t in 0..4u64 {
+            let tm = tm.clone();
+            joins.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    atomically(&*tm, t as usize, |tx| {
+                        sl.insert(tx, tm.heap(), t * 1000 + i, 0)?;
+                        Ok(())
+                    });
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        atomically(&*tm, 0, |tx| {
+            let entries = sl.entries(tx)?;
+            assert_eq!(entries.len(), 400);
+            assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+            Ok(())
+        });
+    }
+}

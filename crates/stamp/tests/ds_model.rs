@@ -1,0 +1,193 @@
+//! Model-based property tests: transactional data structures against
+//! std-library reference models (sequential runtime).
+
+use proptest::prelude::*;
+use rococo_stamp::ds::{TmHashMap, TmList, TmPq, TmQueue, TmSkipList};
+use rococo_stm::{atomically, SeqTm, TmConfig, TmSystem};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+fn tm() -> SeqTm {
+    SeqTm::with_config(TmConfig {
+        heap_words: 1 << 18,
+        max_threads: 1,
+    })
+}
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u64, u64),
+    Put(u64, u64),
+    Remove(u64),
+    Get(u64),
+}
+
+fn map_ops() -> impl Strategy<Value = Vec<MapOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..50, 0u64..1000).prop_map(|(k, v)| MapOp::Insert(k, v)),
+            (0u64..50, 0u64..1000).prop_map(|(k, v)| MapOp::Put(k, v)),
+            (0u64..50).prop_map(MapOp::Remove),
+            (0u64..50).prop_map(MapOp::Get),
+        ],
+        0..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn skiplist_matches_btreemap(ops in map_ops()) {
+        let tm = tm();
+        let sl = TmSkipList::create(tm.heap());
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            atomically(&tm, 0, |tx| {
+                match op {
+                    MapOp::Insert(k, v) => {
+                        let inserted = sl.insert(tx, tm.heap(), k, v)?;
+                        let expect = !model.contains_key(&k);
+                        assert_eq!(inserted, expect, "insert {k}");
+                        if expect {
+                            model.insert(k, v);
+                        }
+                    }
+                    MapOp::Put(k, v) => {
+                        if sl.update(tx, k, v)? {
+                            assert!(model.contains_key(&k));
+                            model.insert(k, v);
+                        } else {
+                            assert!(!model.contains_key(&k));
+                        }
+                    }
+                    MapOp::Remove(k) => {
+                        assert_eq!(sl.remove(tx, k)?, model.remove(&k), "remove {k}");
+                    }
+                    MapOp::Get(k) => {
+                        assert_eq!(sl.get(tx, k)?, model.get(&k).copied(), "get {k}");
+                    }
+                }
+                Ok(())
+            });
+        }
+        let entries = atomically(&tm, 0, |tx| sl.entries(tx));
+        let expected: Vec<(u64, u64)> = model.into_iter().collect();
+        prop_assert_eq!(entries, expected);
+    }
+
+    #[test]
+    fn hashmap_matches_btreemap(ops in map_ops()) {
+        let tm = tm();
+        let map = TmHashMap::create(tm.heap(), 8);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            atomically(&tm, 0, |tx| {
+                match op {
+                    MapOp::Insert(k, v) => {
+                        let inserted = map.insert(tx, tm.heap(), k, v)?;
+                        assert_eq!(inserted, !model.contains_key(&k));
+                        model.entry(k).or_insert(v);
+                    }
+                    MapOp::Put(k, v) => {
+                        let old = map.put(tx, tm.heap(), k, v)?;
+                        assert_eq!(old, model.insert(k, v));
+                    }
+                    MapOp::Remove(k) => {
+                        assert_eq!(map.remove(tx, k)?, model.remove(&k));
+                    }
+                    MapOp::Get(k) => {
+                        assert_eq!(map.get(tx, k)?, model.get(&k).copied());
+                    }
+                }
+                Ok(())
+            });
+        }
+        let mut entries = atomically(&tm, 0, |tx| map.entries(tx));
+        entries.sort_unstable();
+        let expected: Vec<(u64, u64)> = model.into_iter().collect();
+        prop_assert_eq!(entries, expected);
+    }
+
+    #[test]
+    fn list_matches_btreemap(ops in map_ops()) {
+        let tm = tm();
+        let list = TmList::create(tm.heap());
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            atomically(&tm, 0, |tx| {
+                match op {
+                    MapOp::Insert(k, v) => {
+                        let inserted = list.insert_with(tx, tm.heap(), k, v)?;
+                        assert_eq!(inserted, !model.contains_key(&k));
+                        model.entry(k).or_insert(v);
+                    }
+                    MapOp::Put(k, v) => {
+                        let old = list.put(tx, tm.heap(), k, v)?;
+                        assert_eq!(old, model.insert(k, v));
+                    }
+                    MapOp::Remove(k) => {
+                        assert_eq!(list.remove(tx, k)?, model.remove(&k));
+                    }
+                    MapOp::Get(k) => {
+                        assert_eq!(list.get(tx, k)?, model.get(&k).copied());
+                    }
+                }
+                Ok(())
+            });
+        }
+        let entries = atomically(&tm, 0, |tx| list.entries(tx));
+        let expected: Vec<(u64, u64)> = model.into_iter().collect();
+        prop_assert_eq!(entries, expected);
+    }
+
+    #[test]
+    fn queue_matches_vecdeque(ops in prop::collection::vec(prop::option::of(0u64..1000), 0..120)) {
+        let tm = tm();
+        let q = TmQueue::create(tm.heap(), 32);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in ops {
+            atomically(&tm, 0, |tx| {
+                match op {
+                    Some(v) => {
+                        let pushed = q.push(tx, v)?;
+                        assert_eq!(pushed, model.len() < 32);
+                        if pushed {
+                            model.push_back(v);
+                        }
+                    }
+                    None => {
+                        assert_eq!(q.pop(tx)?, model.pop_front());
+                    }
+                }
+                assert_eq!(q.len(tx)?, model.len() as u64);
+                Ok(())
+            });
+        }
+    }
+
+    #[test]
+    fn pq_matches_binaryheap(ops in prop::collection::vec(prop::option::of(0u64..1000), 0..120)) {
+        let tm = tm();
+        let pq = TmPq::create(tm.heap(), 32);
+        let mut model: BinaryHeap<std::cmp::Reverse<u64>> = BinaryHeap::new();
+        for op in ops {
+            atomically(&tm, 0, |tx| {
+                match op {
+                    Some(k) => {
+                        let pushed = pq.push(tx, k, k ^ 0xff)?;
+                        assert_eq!(pushed, model.len() < 32);
+                        if pushed {
+                            model.push(std::cmp::Reverse(k));
+                        }
+                    }
+                    None => {
+                        let got = pq.pop_min(tx)?;
+                        let want = model.pop().map(|std::cmp::Reverse(k)| (k, k ^ 0xff));
+                        assert_eq!(got.map(|(k, _)| k), want.map(|(k, _)| k));
+                    }
+                }
+                Ok(())
+            });
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! The TM-system interface shared by every runtime.
+
+use crate::heap::{Addr, TmHeap, Word};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Why a transaction aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AbortKind {
+    /// Eagerly detected conflict on the CPU side (lock conflict, doomed by
+    /// a concurrent transaction, stale read / broken snapshot).
+    Conflict,
+    /// The simulated FPGA rejected the transaction: dependency cycle.
+    FpgaCycle,
+    /// The simulated FPGA rejected the transaction: sliding-window overflow
+    /// (also used for commit-queue overruns on the CPU side).
+    FpgaWindow,
+    /// Hardware-capacity abort (HTM cache-footprint overflow).
+    Capacity,
+    /// The HTM fallback lock was taken, dooming hardware transactions.
+    FallbackLock,
+    /// The user closure requested a retry.
+    Explicit,
+}
+
+/// A transaction abort. Returned by [`Transaction`] operations; propagate
+/// it with `?` so [`atomically`] can retry the closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Abort {
+    /// The abort class (used for the per-reason statistics of Figure 10).
+    pub kind: AbortKind,
+}
+
+impl Abort {
+    /// Convenience constructor.
+    pub fn new(kind: AbortKind) -> Self {
+        Self { kind }
+    }
+}
+
+impl fmt::Display for Abort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transaction aborted: {:?}", self.kind)
+    }
+}
+
+impl std::error::Error for Abort {}
+
+/// Construction parameters common to all TM systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TmConfig {
+    /// Heap capacity in 64-bit words.
+    pub heap_words: usize,
+    /// Maximum number of worker threads that will ever call
+    /// [`TmSystem::begin`] concurrently (thread ids must be `< max_threads`).
+    pub max_threads: usize,
+}
+
+impl Default for TmConfig {
+    fn default() -> Self {
+        Self {
+            heap_words: 1 << 20,
+            max_threads: 28,
+        }
+    }
+}
+
+/// One in-flight transaction.
+///
+/// Reads and writes return [`Abort`] when the runtime detects a conflict
+/// eagerly; the caller should propagate the error outwards (the
+/// [`atomically`] loop re-executes the closure). Writes are buffered by
+/// every runtime and only reach the heap on a successful commit.
+pub trait Transaction {
+    /// Transactionally reads the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if the runtime detects that this transaction can
+    /// no longer commit (e.g. its snapshot broke).
+    fn read(&mut self, addr: Addr) -> Result<Word, Abort>;
+
+    /// Transactionally writes `val` to `addr` (buffered until commit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if the runtime detects that this transaction can
+    /// no longer commit.
+    fn write(&mut self, addr: Addr, val: Word) -> Result<(), Abort>;
+
+    /// Attempts to commit, consuming the transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if validation fails; all buffered writes are
+    /// discarded.
+    fn commit(self) -> Result<(), Abort>
+    where
+        Self: Sized;
+}
+
+/// A transactional-memory runtime.
+pub trait TmSystem: Send + Sync {
+    /// The transaction type handed to worker closures.
+    type Tx<'a>: Transaction
+    where
+        Self: 'a;
+
+    /// Human-readable system name (used by benchmark reports).
+    fn name(&self) -> &'static str;
+
+    /// The shared heap.
+    fn heap(&self) -> &TmHeap;
+
+    /// Starts a transaction on behalf of worker `thread_id`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `thread_id` exceeds the configured `max_threads`.
+    fn begin(&self, thread_id: usize) -> Self::Tx<'_>;
+
+    /// Statistics accumulated since construction.
+    fn stats(&self) -> &TmStats;
+
+    /// Phase-boundary hook: the STAMP harness calls this at the start and
+    /// end of every timed parallel phase. The default does nothing; the
+    /// recording wrapper uses it to tag transaction records with a phase
+    /// epoch.
+    fn mark_phase(&self) {}
+}
+
+/// Runs `body` as a transaction on `system`, retrying on abort with
+/// exponential backoff until it commits. Returns the closure's result.
+///
+/// The closure may be executed multiple times; side effects outside the
+/// transaction should be idempotent. Returning `Err(Abort)` from the
+/// closure also triggers a retry (use [`AbortKind::Explicit`] for
+/// programmatic retry).
+pub fn atomically<S, R, F>(system: &S, thread_id: usize, mut body: F) -> R
+where
+    S: TmSystem + ?Sized,
+    F: FnMut(&mut S::Tx<'_>) -> Result<R, Abort>,
+{
+    let mut backoff = 0u32;
+    loop {
+        match try_atomically(system, thread_id, &mut body) {
+            Ok(r) => return r,
+            Err(_) => {
+                // Bounded randomised-ish exponential backoff.
+                let spins = 1u32 << backoff.min(10);
+                for _ in 0..spins {
+                    std::hint::spin_loop();
+                }
+                if backoff >= 10 {
+                    std::thread::yield_now();
+                }
+                backoff += 1;
+            }
+        }
+    }
+}
+
+/// Runs `body` as a single transaction attempt: begin, execute, commit.
+///
+/// # Errors
+///
+/// Returns the [`Abort`] if either the closure or the commit aborts.
+pub fn try_atomically<S, R, F>(system: &S, thread_id: usize, body: &mut F) -> Result<R, Abort>
+where
+    S: TmSystem + ?Sized,
+    F: FnMut(&mut S::Tx<'_>) -> Result<R, Abort>,
+{
+    system.stats().starts.fetch_add(1, Ordering::Relaxed);
+    let mut tx = system.begin(thread_id);
+    match body(&mut tx) {
+        Ok(r) => match tx.commit() {
+            Ok(()) => {
+                system.stats().commits.fetch_add(1, Ordering::Relaxed);
+                Ok(r)
+            }
+            Err(abort) => {
+                system.stats().record_abort(abort.kind);
+                Err(abort)
+            }
+        },
+        Err(abort) => {
+            system.stats().record_abort(abort.kind);
+            Err(abort)
+        }
+    }
+}
+
+/// Shared statistics counters. All counters are monotonically increasing
+/// and updated with relaxed atomics; read a coherent-enough view with
+/// [`TmStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct TmStats {
+    /// Transaction attempts started.
+    pub starts: AtomicU64,
+    /// Successful commits.
+    pub commits: AtomicU64,
+    /// Aborts: eager CPU-side conflicts.
+    pub aborts_conflict: AtomicU64,
+    /// Aborts: FPGA cycle rejections.
+    pub aborts_fpga_cycle: AtomicU64,
+    /// Aborts: FPGA window overflow.
+    pub aborts_fpga_window: AtomicU64,
+    /// Aborts: HTM capacity.
+    pub aborts_capacity: AtomicU64,
+    /// Aborts: HTM fallback-lock interference.
+    pub aborts_fallback: AtomicU64,
+    /// Aborts: explicit user retry.
+    pub aborts_explicit: AtomicU64,
+    /// Commits that ran on a fallback path (HTM global lock).
+    pub fallback_commits: AtomicU64,
+    /// Commits of read-only transactions (never leave the CPU).
+    pub read_only_commits: AtomicU64,
+    /// Wall-clock nanoseconds spent in the validation phase.
+    pub validation_ns: AtomicU64,
+    /// Model-time nanoseconds the validation phase would take on the
+    /// simulated platform (FPGA pipeline + CCI hops).
+    pub validation_model_ns: AtomicU64,
+    /// Number of validation phases measured.
+    pub validations: AtomicU64,
+}
+
+impl TmStats {
+    /// Records one abort of the given kind.
+    pub fn record_abort(&self, kind: AbortKind) {
+        let ctr = match kind {
+            AbortKind::Conflict => &self.aborts_conflict,
+            AbortKind::FpgaCycle => &self.aborts_fpga_cycle,
+            AbortKind::FpgaWindow => &self.aborts_fpga_window,
+            AbortKind::Capacity => &self.aborts_capacity,
+            AbortKind::FallbackLock => &self.aborts_fallback,
+            AbortKind::Explicit => &self.aborts_explicit,
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            starts: self.starts.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: HashMap::from([
+                (AbortKind::Conflict, self.aborts_conflict.load(Ordering::Relaxed)),
+                (AbortKind::FpgaCycle, self.aborts_fpga_cycle.load(Ordering::Relaxed)),
+                (AbortKind::FpgaWindow, self.aborts_fpga_window.load(Ordering::Relaxed)),
+                (AbortKind::Capacity, self.aborts_capacity.load(Ordering::Relaxed)),
+                (AbortKind::FallbackLock, self.aborts_fallback.load(Ordering::Relaxed)),
+                (AbortKind::Explicit, self.aborts_explicit.load(Ordering::Relaxed)),
+            ]),
+            fallback_commits: self.fallback_commits.load(Ordering::Relaxed),
+            read_only_commits: self.read_only_commits.load(Ordering::Relaxed),
+            validation_ns: self.validation_ns.load(Ordering::Relaxed),
+            validation_model_ns: self.validation_model_ns.load(Ordering::Relaxed),
+            validations: self.validations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`TmStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Transaction attempts started.
+    pub starts: u64,
+    /// Successful commits.
+    pub commits: u64,
+    /// Aborts per kind.
+    pub aborts: HashMap<AbortKind, u64>,
+    /// Commits on a fallback path.
+    pub fallback_commits: u64,
+    /// Read-only commits.
+    pub read_only_commits: u64,
+    /// Wall nanoseconds in validation.
+    pub validation_ns: u64,
+    /// Model nanoseconds in validation.
+    pub validation_model_ns: u64,
+    /// Validation phases measured.
+    pub validations: u64,
+}
+
+impl StatsSnapshot {
+    /// Total aborts.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts.values().sum()
+    }
+
+    /// Aborted attempts over all attempts — the Figure 10 abort-rate
+    /// metric ("the ratio of the number of aborted transactions over the
+    /// total number of executed transactions").
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.commits + self.total_aborts();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 / total as f64
+        }
+    }
+
+    /// Aborts attributed to the FPGA (the dotted series of Figure 10).
+    pub fn fpga_aborts(&self) -> u64 {
+        self.aborts.get(&AbortKind::FpgaCycle).copied().unwrap_or(0)
+            + self.aborts.get(&AbortKind::FpgaWindow).copied().unwrap_or(0)
+    }
+
+    /// FPGA-attributed abort rate.
+    pub fn fpga_abort_rate(&self) -> f64 {
+        let total = self.commits + self.total_aborts();
+        if total == 0 {
+            0.0
+        } else {
+            self.fpga_aborts() as f64 / total as f64
+        }
+    }
+
+    /// Mean wall-clock validation overhead per measured transaction, in
+    /// microseconds (Figure 11).
+    pub fn mean_validation_us(&self) -> f64 {
+        if self.validations == 0 {
+            0.0
+        } else {
+            self.validation_ns as f64 / self.validations as f64 / 1000.0
+        }
+    }
+
+    /// Mean model-time validation overhead per measured transaction, in
+    /// microseconds (Figure 11, simulated-platform time).
+    pub fn mean_validation_model_us(&self) -> f64 {
+        if self.validations == 0 {
+            0.0
+        } else {
+            self.validation_model_ns as f64 / self.validations as f64 / 1000.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_rates() {
+        let s = TmStats::default();
+        s.commits.store(80, Ordering::Relaxed);
+        s.record_abort(AbortKind::Conflict);
+        s.record_abort(AbortKind::FpgaCycle);
+        for _ in 0..18 {
+            s.record_abort(AbortKind::Conflict);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.total_aborts(), 20);
+        assert!((snap.abort_rate() - 0.2).abs() < 1e-9);
+        assert_eq!(snap.fpga_aborts(), 1);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let snap = TmStats::default().snapshot();
+        assert_eq!(snap.abort_rate(), 0.0);
+        assert_eq!(snap.mean_validation_us(), 0.0);
+    }
+
+    #[test]
+    fn abort_display() {
+        let a = Abort::new(AbortKind::Capacity);
+        assert!(a.to_string().contains("Capacity"));
+    }
+}

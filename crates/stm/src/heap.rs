@@ -1,0 +1,165 @@
+//! The shared word-addressed transactional heap.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A heap address: an index into the word array.
+pub type Addr = usize;
+
+/// The unit of transactional access: a 64-bit word.
+pub type Word = u64;
+
+/// The reserved null address: [`TmHeap::alloc`] never returns 0, so
+/// pointer-shaped words can use 0 as "none".
+pub const NULL: Addr = 0;
+
+/// The shared memory all TM systems operate on: a flat array of atomic
+/// 64-bit words plus a bump allocator.
+///
+/// STAMP-style workloads lay out their data structures manually in this
+/// array (a node is a handful of consecutive words); [`TmHeap::alloc`]
+/// hands out fresh consecutive ranges. Allocation is non-transactional,
+/// mirroring STAMP's practice of allocating outside TM bookkeeping — a
+/// range leaked by an aborted transaction is simply never reused.
+#[derive(Debug)]
+pub struct TmHeap {
+    words: Vec<AtomicU64>,
+    next_free: AtomicUsize,
+}
+
+impl TmHeap {
+    /// Creates a zeroed heap of `words` 64-bit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words == 0`.
+    pub fn new(words: usize) -> Self {
+        assert!(words > 0, "heap must hold at least one word");
+        Self {
+            words: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            // Word 0 is reserved so allocated addresses are never NULL.
+            next_free: AtomicUsize::new(1),
+        }
+    }
+
+    /// Heap capacity in words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the heap has zero capacity (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Words currently handed out by the allocator.
+    pub fn allocated(&self) -> usize {
+        self.next_free.load(Ordering::Relaxed).min(self.len())
+    }
+
+    /// Allocates `n` consecutive zero-initialised... *previously unused*
+    /// words and returns the address of the first. Contents are whatever a
+    /// prior direct store left there (freshly constructed heaps are
+    /// zeroed); allocation itself never touches the words, so it is safe
+    /// inside transactions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is exhausted.
+    pub fn alloc(&self, n: usize) -> Addr {
+        let base = self.next_free.fetch_add(n, Ordering::Relaxed);
+        assert!(
+            base + n <= self.words.len(),
+            "transactional heap exhausted: {} + {n} > {}",
+            base,
+            self.words.len()
+        );
+        base
+    }
+
+    /// Non-transactional load (sequential setup / verification code).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[inline]
+    pub fn load_direct(&self, addr: Addr) -> Word {
+        self.words[addr].load(Ordering::SeqCst)
+    }
+
+    /// Non-transactional store (sequential setup / verification code).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[inline]
+    pub fn store_direct(&self, addr: Addr, val: Word) {
+        self.words[addr].store(val, Ordering::SeqCst);
+    }
+
+    /// The raw atomic cell backing `addr` (runtime-internal use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[inline]
+    pub fn cell(&self, addr: Addr) -> &AtomicU64 {
+        &self.words[addr]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_hands_out_disjoint_ranges() {
+        let h = TmHeap::new(100);
+        let a = h.alloc(10);
+        let b = h.alloc(5);
+        assert_eq!(a, 1, "address 0 is reserved as NULL");
+        assert_eq!(b, 11);
+        assert_eq!(h.allocated(), 16);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let h = TmHeap::new(4);
+        h.store_direct(2, 99);
+        assert_eq!(h.load_direct(2), 99);
+        assert_eq!(h.load_direct(3), 0);
+    }
+
+    #[test]
+    fn concurrent_alloc_never_overlaps() {
+        let h = std::sync::Arc::new(TmHeap::new(10_000));
+        let mut joins = Vec::new();
+        for _ in 0..8 {
+            let h = h.clone();
+            joins.push(std::thread::spawn(move || {
+                (0..100).map(|_| h.alloc(10)).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<usize> = joins
+            .into_iter()
+            .flat_map(|j| j.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 800, "allocations must be disjoint");
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let h = TmHeap::new(8);
+        h.alloc(8);
+    }
+
+    #[test]
+    fn alloc_never_returns_null() {
+        let h = TmHeap::new(64);
+        for _ in 0..63 {
+            assert_ne!(h.alloc(1), NULL);
+        }
+    }
+}

@@ -1,0 +1,697 @@
+//! ROCoCoTM: the hybrid TM of section 5.
+//!
+//! The CPU side implements Algorithm 1 and the snapshot machinery of
+//! Figure 8; validation of read-write transactions is offloaded to the
+//! simulated FPGA pipeline (`rococo-fpga`) through asynchronous queues:
+//!
+//! * a global timestamp `GlobalTS` counts committed read-write
+//!   transactions and doubles as the FPGA's commit sequence;
+//! * every commit publishes its write-set bloom signature in the
+//!   **commit queue** indexed by its sequence number; executing
+//!   transactions drain the queue into a `TempSet` to detect snapshot
+//!   breaks and maintain `ValidTS` (the newest sequence their whole read
+//!   set is consistent with);
+//! * the **update set** holds the signatures of transactions currently
+//!   writing back, serving as commit-time locking: an executor reading one
+//!   of those addresses backs off (or aborts if it already missed
+//!   updates);
+//! * a transaction with writes sends `(read addresses, write addresses,
+//!   ValidTS)` to the validator and, when granted sequence `s`, waits for
+//!   its turn (`GlobalTS == s`), publishes its update-set entry, writes
+//!   back its redo log, publishes the commit-queue signature and bumps
+//!   `GlobalTS`. Read-only transactions commit directly on the CPU.
+
+use crate::api::{Abort, AbortKind, TmConfig, TmStats, TmSystem, Transaction};
+use crate::heap::{Addr, TmHeap, Word};
+use parking_lot::{RwLock, RwLockWriteGuard};
+use rococo_fpga::{
+    EngineConfig, EngineStats, FpgaVerdict, ServiceHandle, TimingModel, ValidateRequest,
+    ValidationService,
+};
+use rococo_sigs::{ChunkedSig, Sig, SigScheme};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// ROCoCoTM-specific configuration.
+#[derive(Debug, Clone)]
+pub struct RococoConfig {
+    /// Common TM parameters.
+    pub tm: TmConfig,
+    /// FPGA sliding-window capacity `W`.
+    pub window: usize,
+    /// Signature geometry shared between CPU and FPGA.
+    pub scheme: SigScheme,
+    /// Commit-queue length (must exceed the number of commits that can
+    /// happen while one transaction executes; overruns abort the laggard).
+    pub queue_len: usize,
+    /// Timing model used to charge model time for validation (Figure 11).
+    pub timing: TimingModel,
+    /// Bounded back-off iterations when a read hits the update set before
+    /// the conflict is treated as an abort.
+    pub update_spin: usize,
+    /// Consecutive aborts after which a thread's next attempt runs
+    /// *irrevocably*: it takes the commit gate exclusively, so no other
+    /// transaction can commit underneath it and it is guaranteed to
+    /// succeed. This is the escape hatch the paper sketches for long
+    /// transactions starved by the sliding window ("to ensure long
+    /// transactions can eventually commit, irrevocability may be
+    /// required", section 4.2).
+    pub irrevocable_after: u32,
+}
+
+impl Default for RococoConfig {
+    fn default() -> Self {
+        Self {
+            tm: TmConfig::default(),
+            window: 64,
+            scheme: SigScheme::paper_default(),
+            queue_len: 1024,
+            timing: TimingModel::default(),
+            update_spin: 1 << 14,
+            irrevocable_after: 16,
+        }
+    }
+}
+
+/// One slot of the update set: the write signature of a transaction that is
+/// currently writing back, used as commit-time locking.
+#[derive(Debug)]
+struct UpdateSlot {
+    sig: RwLock<Option<Sig>>,
+}
+
+/// The ROCoCoTM runtime.
+#[derive(Debug)]
+pub struct RococoTm {
+    heap: TmHeap,
+    stats: TmStats,
+    config: RococoConfig,
+    scheme: SigScheme,
+    /// Count of committed read-write transactions; also the next FPGA
+    /// commit sequence to be published.
+    global_ts: AtomicU64,
+    /// Ring buffer of committed write-set signatures, indexed by
+    /// `seq % queue_len`. Slot contents are valid for `seq < global_ts`.
+    commit_queue: Vec<RwLock<Sig>>,
+    /// Per-thread update-set slots plus a fast-path occupancy counter.
+    update_slots: Vec<UpdateSlot>,
+    active_updates: AtomicUsize,
+    /// Commit gate: committers hold it shared; an irrevocable transaction
+    /// holds it exclusively for its whole lifetime, freezing `GlobalTS` so
+    /// nothing can invalidate its snapshot.
+    commit_gate: RwLock<()>,
+    /// Consecutive aborts per thread (irrevocability escalation).
+    consecutive_aborts: Vec<std::sync::atomic::AtomicU32>,
+    /// The simulated FPGA; kept alive for the runtime's lifetime (dropping
+    /// it stops the validator thread).
+    _service: ValidationService,
+    handle: ServiceHandle,
+}
+
+impl RococoTm {
+    /// Creates a ROCoCoTM with default ROCoCo parameters.
+    pub fn with_config(tm: TmConfig) -> Self {
+        Self::with_configs(RococoConfig {
+            tm,
+            ..RococoConfig::default()
+        })
+    }
+
+    /// Creates a ROCoCoTM with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_len < window` or any size is zero.
+    pub fn with_configs(config: RococoConfig) -> Self {
+        assert!(
+            config.queue_len >= config.window,
+            "commit queue must cover at least one window"
+        );
+        let scheme = config.scheme.clone();
+        let service = ValidationService::spawn(EngineConfig {
+            window: config.window,
+            scheme: scheme.clone(),
+        });
+        let handle = service.handle();
+        Self {
+            heap: TmHeap::new(config.tm.heap_words),
+            stats: TmStats::default(),
+            scheme: scheme.clone(),
+            global_ts: AtomicU64::new(0),
+            commit_queue: (0..config.queue_len)
+                .map(|_| RwLock::new(scheme.new_sig()))
+                .collect(),
+            update_slots: (0..config.tm.max_threads)
+                .map(|_| UpdateSlot {
+                    sig: RwLock::new(None),
+                })
+                .collect(),
+            active_updates: AtomicUsize::new(0),
+            commit_gate: RwLock::new(()),
+            consecutive_aborts: (0..config.tm.max_threads)
+                .map(|_| std::sync::atomic::AtomicU32::new(0))
+                .collect(),
+            _service: service,
+            handle,
+            config,
+        }
+    }
+
+    /// The signature scheme shared with the simulated FPGA.
+    pub fn scheme(&self) -> &SigScheme {
+        &self.scheme
+    }
+
+    /// Statistics of the FPGA-side engine (requests, commits, cycle and
+    /// window aborts — the dotted series of Figure 10).
+    pub fn fpga_stats(&self) -> EngineStats {
+        self.handle.stats()
+    }
+
+    /// Whether `addr` is currently claimed by a committing transaction's
+    /// update-set entry (commit-time locking, Algorithm 1 line 5).
+    fn update_set_hits(&self, addr: Addr) -> bool {
+        if self.active_updates.load(Ordering::SeqCst) == 0 {
+            return false;
+        }
+        self.update_slots.iter().any(|slot| {
+            slot.sig
+                .read()
+                .as_ref()
+                .is_some_and(|sig| self.scheme.query(sig, addr as u64))
+        })
+    }
+}
+
+/// A [`RococoTm`] transaction (the per-thread state of Algorithm 1).
+pub struct RococoTx<'a> {
+    tm: &'a RococoTm,
+    thread: usize,
+    /// All commits with `seq < local_ts` have been folded into the
+    /// conflict checks so far.
+    local_ts: u64,
+    /// The read set is consistent as of this sequence.
+    valid_ts: u64,
+    /// Chunked read-set summary (whole-set + per-8-address signatures +
+    /// raw addresses).
+    read_set: ChunkedSig,
+    /// Write-set signature.
+    write_sig: Sig,
+    /// Write-set addresses in first-write order.
+    write_addrs: Vec<Addr>,
+    /// Redo log.
+    redo: HashMap<Addr, Word>,
+    /// Union of committed write signatures this transaction failed to
+    /// observe (Figure 8(c)); non-empty means `valid_ts` is frozen.
+    miss_set: Sig,
+    /// Held exclusively when the transaction runs irrevocably.
+    irrevocable: Option<RwLockWriteGuard<'a, ()>>,
+}
+
+impl std::fmt::Debug for RococoTx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RococoTx")
+            .field("irrevocable", &self.irrevocable.is_some())
+            .field("thread", &self.thread)
+            .field("local_ts", &self.local_ts)
+            .field("valid_ts", &self.valid_ts)
+            .field("reads", &self.read_set.len())
+            .field("writes", &self.write_addrs.len())
+            .finish()
+    }
+}
+
+impl RococoTx<'_> {
+    /// Drains the commit queue from `local_ts` to the current `GlobalTS`
+    /// into a fresh `TempSet` (Algorithm 1 lines 9–13).
+    ///
+    /// Returns `None` — meaning the transaction must abort — if the queue
+    /// was overrun (the laggard cannot reconstruct what it missed).
+    fn drain_temp_set(&mut self) -> Option<(Sig, u64)> {
+        let gts = self.tm.global_ts.load(Ordering::SeqCst);
+        if gts == self.local_ts {
+            return Some((self.tm.scheme.new_sig(), gts));
+        }
+        if gts - self.local_ts > self.tm.config.queue_len as u64 {
+            return None; // ring overrun: history lost
+        }
+        let mut temp = self.tm.scheme.new_sig();
+        for seq in self.local_ts..gts {
+            let slot = &self.tm.commit_queue[(seq % self.tm.config.queue_len as u64) as usize];
+            temp.union_with(&slot.read());
+        }
+        self.local_ts = gts;
+        Some((temp, gts))
+    }
+
+    /// The read path of Algorithm 1 (`TM_READ`).
+    fn tm_read(&mut self, addr: Addr) -> Result<Word, Abort> {
+        // Line 1–4: read-own-write.
+        if let Some(&v) = self.redo.get(&addr) {
+            return Ok(v);
+        }
+
+        let mut spins = 0usize;
+        loop {
+            // Lines 5–7: back off while a committer's update set covers the
+            // address; if we already missed updates, abort instead.
+            while self.tm.update_set_hits(addr) {
+                if !self.miss_set.is_empty() {
+                    return Err(Abort::new(AbortKind::Conflict));
+                }
+                spins += 1;
+                if spins > self.tm.config.update_spin {
+                    return Err(Abort::new(AbortKind::Conflict));
+                }
+                std::hint::spin_loop();
+            }
+
+            // Line 8: speculative value read.
+            let v = self.tm.heap.load_direct(addr);
+
+            // Lines 9–13: fold newly committed write sets into TempSet.
+            let Some((temp, gts)) = self.drain_temp_set() else {
+                return Err(Abort::new(AbortKind::FpgaWindow));
+            };
+
+            // If a committer was mid-write-back on this address we may have
+            // read a torn (new) value while its signature is not yet in the
+            // queue; re-check the update set and retry in that case.
+            if self.tm.update_set_hits(addr) {
+                continue;
+            }
+
+            // Lines 14–19 plus the ValidTS extension of Figure 8(b).
+            if !temp.is_empty() {
+                let conflict = self.read_set.conflicts_with(&self.tm.scheme, &temp);
+                if self.miss_set.is_empty() && !conflict {
+                    self.valid_ts = gts; // snapshot extends
+                } else {
+                    self.miss_set.union_with(&temp);
+                }
+            } else if self.miss_set.is_empty() {
+                self.valid_ts = gts;
+            }
+            if !self.miss_set.is_empty() && self.tm.scheme.query(&self.miss_set, addr as u64) {
+                // The address we are reading was updated after ValidTS: the
+                // snapshot cannot stay consistent (Figure 8(d)). This is the
+                // CPU-side fast abort path — no out-of-core latency.
+                self.tm.consecutive_aborts[self.thread].fetch_add(1, Ordering::Relaxed);
+                return Err(Abort::new(AbortKind::Conflict));
+            }
+
+            // Line 20.
+            self.read_set.insert(&self.tm.scheme, addr as u64);
+            return Ok(v);
+        }
+    }
+}
+
+impl Transaction for RococoTx<'_> {
+    fn read(&mut self, addr: Addr) -> Result<Word, Abort> {
+        self.tm_read(addr)
+    }
+
+    fn write(&mut self, addr: Addr, val: Word) -> Result<(), Abort> {
+        // TM_WRITE: signature insert + redo log (lines 21–22).
+        if !self.redo.contains_key(&addr) {
+            self.tm.scheme.insert(&mut self.write_sig, addr as u64);
+            self.write_addrs.push(addr);
+        }
+        self.redo.insert(addr, val);
+        Ok(())
+    }
+
+    fn commit(self) -> Result<(), Abort> {
+        let tm = self.tm;
+        let record = |r: Result<(), Abort>| {
+            let ctr = &tm.consecutive_aborts[self.thread];
+            match r {
+                Ok(()) => ctr.store(0, Ordering::Relaxed),
+                Err(_) => {
+                    ctr.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            r
+        };
+
+        // Read-only transactions commit directly on the CPU: their read
+        // set is consistent at valid_ts by construction.
+        if self.write_addrs.is_empty() {
+            tm.stats.read_only_commits.fetch_add(1, Ordering::Relaxed);
+            return record(Ok(()));
+        }
+
+        // Ordinary committers share the gate; an irrevocable transaction
+        // already holds it exclusively (and therefore skips it here).
+        let _shared_gate = if self.irrevocable.is_none() {
+            Some(tm.commit_gate.read())
+        } else {
+            None
+        };
+
+        // Ship (read addresses, write addresses, ValidTS) to the FPGA and
+        // wait for the verdict.
+        let req = ValidateRequest {
+            tx_id: self.thread as u64,
+            valid_ts: self.valid_ts,
+            read_addrs: self.read_set.addrs().to_vec(),
+            write_addrs: self.write_addrs.iter().map(|&a| a as u64).collect(),
+        };
+        let n_addrs = req.read_addrs.len() + req.write_addrs.len();
+        let t0 = Instant::now();
+        let verdict = tm.handle.validate(req);
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        tm.stats.validation_ns.fetch_add(wall_ns, Ordering::Relaxed);
+        tm.stats
+            .validation_model_ns
+            .fetch_add(tm.config.timing.latency_ns(n_addrs) as u64, Ordering::Relaxed);
+        tm.stats.validations.fetch_add(1, Ordering::Relaxed);
+
+        let seq = match verdict {
+            FpgaVerdict::Commit { seq } => seq,
+            FpgaVerdict::AbortCycle => {
+                return record(Err(Abort::new(AbortKind::FpgaCycle)));
+            }
+            FpgaVerdict::AbortWindowOverflow => {
+                return record(Err(Abort::new(AbortKind::FpgaWindow)));
+            }
+        };
+
+        // Wait for our turn in commit order. Every sequence before ours was
+        // granted to some committer that will publish it; write-backs are
+        // thereby ordered, which subsumes the paper's write-write commit
+        // ordering.
+        while tm.global_ts.load(Ordering::SeqCst) != seq {
+            std::hint::spin_loop();
+        }
+
+        // Publish the update-set entry (commit-time locking), write back,
+        // publish the commit-queue signature, bump GlobalTS, release.
+        {
+            let mut slot = tm.update_slots[self.thread].sig.write();
+            *slot = Some(self.write_sig.clone());
+        }
+        tm.active_updates.fetch_add(1, Ordering::SeqCst);
+
+        for (&addr, &val) in &self.redo {
+            tm.heap.store_direct(addr, val);
+        }
+
+        {
+            let mut qslot =
+                tm.commit_queue[(seq % tm.config.queue_len as u64) as usize].write();
+            *qslot = self.write_sig.clone();
+        }
+        tm.global_ts.store(seq + 1, Ordering::SeqCst);
+
+        {
+            let mut slot = tm.update_slots[self.thread].sig.write();
+            *slot = None;
+        }
+        tm.active_updates.fetch_sub(1, Ordering::SeqCst);
+        if self.irrevocable.is_some() {
+            tm.stats.fallback_commits.fetch_add(1, Ordering::Relaxed);
+        }
+        record(Ok(()))
+    }
+}
+
+impl TmSystem for RococoTm {
+    type Tx<'a> = RococoTx<'a>;
+
+    fn name(&self) -> &'static str {
+        "ROCoCoTM"
+    }
+
+    fn heap(&self) -> &TmHeap {
+        &self.heap
+    }
+
+    fn begin(&self, thread_id: usize) -> RococoTx<'_> {
+        assert!(
+            thread_id < self.update_slots.len(),
+            "thread id out of range"
+        );
+        // Escalate to irrevocability after repeated aborts: hold the
+        // commit gate exclusively so GlobalTS freezes — no update-set
+        // hits, no missed updates, no forward edges, guaranteed commit.
+        let irrevocable = if self.consecutive_aborts[thread_id].load(Ordering::Relaxed)
+            >= self.config.irrevocable_after
+        {
+            Some(self.commit_gate.write())
+        } else {
+            None
+        };
+        let ts = self.global_ts.load(Ordering::SeqCst);
+        RococoTx {
+            tm: self,
+            thread: thread_id,
+            local_ts: ts,
+            valid_ts: ts,
+            read_set: ChunkedSig::new(&self.scheme),
+            write_sig: self.scheme.new_sig(),
+            write_addrs: Vec::new(),
+            redo: HashMap::new(),
+            miss_set: self.scheme.new_sig(),
+            irrevocable,
+        }
+    }
+
+    fn stats(&self) -> &TmStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::atomically;
+    use std::sync::Arc;
+
+    fn tm(words: usize, threads: usize) -> RococoTm {
+        RococoTm::with_config(TmConfig {
+            heap_words: words,
+            max_threads: threads,
+        })
+    }
+
+    #[test]
+    fn single_thread_semantics() {
+        let tm = tm(64, 1);
+        atomically(&tm, 0, |tx| {
+            tx.write(3, 7)?;
+            let v = tx.read(3)?;
+            assert_eq!(v, 7);
+            tx.write(4, v + 1)
+        });
+        assert_eq!(tm.heap().load_direct(3), 7);
+        assert_eq!(tm.heap().load_direct(4), 8);
+        assert_eq!(tm.fpga_stats().commits, 1);
+    }
+
+    #[test]
+    fn read_only_txns_skip_the_fpga() {
+        let tm = tm(64, 1);
+        for _ in 0..5 {
+            atomically(&tm, 0, |tx| tx.read(0));
+        }
+        assert_eq!(tm.stats().snapshot().read_only_commits, 5);
+        assert_eq!(tm.fpga_stats().requests, 0);
+    }
+
+    #[test]
+    fn concurrent_counters_are_exact() {
+        let tm = Arc::new(tm(256, 8));
+        let mut joins = Vec::new();
+        for t in 0..8usize {
+            let tm = tm.clone();
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    atomically(&*tm, t, |tx| {
+                        let v = tx.read(7)?;
+                        tx.write(7, v + 1)
+                    });
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(tm.heap().load_direct(7), 8000);
+    }
+
+    #[test]
+    fn bank_invariant_holds() {
+        let tm = Arc::new(tm(1 << 10, 6));
+        let accounts = 12usize;
+        for a in 0..accounts {
+            tm.heap().store_direct(a, 500);
+        }
+        let mut joins = Vec::new();
+        for t in 0..6usize {
+            let tm = tm.clone();
+            joins.push(std::thread::spawn(move || {
+                let mut x = (t as u64 + 7).wrapping_mul(0x2545f4914f6cdd1d);
+                for _ in 0..1500 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let from = (x as usize >> 5) % accounts;
+                    let to = (x as usize >> 17) % accounts;
+                    if from == to {
+                        continue;
+                    }
+                    atomically(&*tm, t, |tx| {
+                        let f = tx.read(from)?;
+                        let g = tx.read(to)?;
+                        if f >= 5 {
+                            tx.write(from, f - 5)?;
+                            tx.write(to, g + 5)?;
+                        }
+                        Ok(())
+                    });
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let total: u64 = (0..accounts).map(|a| tm.heap().load_direct(a)).sum();
+        assert_eq!(total, 6000);
+    }
+
+    #[test]
+    fn disjoint_writers_commit_without_aborts() {
+        let tm = Arc::new(tm(1 << 12, 4));
+        let mut joins = Vec::new();
+        for t in 0..4usize {
+            let tm = tm.clone();
+            joins.push(std::thread::spawn(move || {
+                let base = 512 * t;
+                for i in 0..400usize {
+                    atomically(&*tm, t, |tx| {
+                        let v = tx.read(base + i % 128)?;
+                        tx.write(base + i % 128, v + 1)
+                    });
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let snap = tm.stats().snapshot();
+        assert_eq!(snap.commits, 1600);
+        // Bloom false positives may cause a few aborts; they must be rare.
+        assert!(
+            snap.total_aborts() < 50,
+            "disjoint writers should almost never abort: {snap:?}"
+        );
+    }
+
+    #[test]
+    fn validation_is_instrumented() {
+        let tm = tm(64, 1);
+        atomically(&tm, 0, |tx| {
+            let v = tx.read(0)?;
+            tx.write(1, v + 1)
+        });
+        let snap = tm.stats().snapshot();
+        assert_eq!(snap.validations, 1);
+        assert!(snap.validation_model_ns > 0);
+    }
+
+    #[test]
+    fn irrevocability_guarantees_progress() {
+        // A tiny window plus a busy writer starves a long transaction via
+        // window-overflow aborts; after `irrevocable_after` failures it
+        // must take the gate and commit.
+        let tm = Arc::new(RococoTm::with_configs(RococoConfig {
+            tm: TmConfig {
+                heap_words: 4096,
+                max_threads: 2,
+            },
+            window: 4,
+            queue_len: 16,
+            irrevocable_after: 2,
+            ..RococoConfig::default()
+        }));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let tm = tm.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    i += 1;
+                    atomically(&*tm, 1, |tx| {
+                        let v = tx.read(1000 + (i % 512) as usize)?;
+                        tx.write(1000 + (i % 512) as usize, v + 1)
+                    });
+                }
+            })
+        };
+        // The "long" transaction reads many of the writer's locations and
+        // takes its time, so its snapshot keeps going stale.
+        for round in 0..5usize {
+            atomically(&*tm, 0, |tx| {
+                let mut acc = 0u64;
+                for k in 0..64usize {
+                    acc = acc.wrapping_add(tx.read(1000 + k * 7)?);
+                    if k % 8 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                tx.write(round, acc)
+            });
+        }
+        stop.store(true, Ordering::SeqCst);
+        writer.join().unwrap();
+        // Progress happened (all five rounds committed); under this much
+        // churn at least one attempt should have run irrevocably.
+        let snap = tm.stats().snapshot();
+        assert!(snap.commits >= 5);
+        assert!(
+            snap.fallback_commits > 0 || snap.total_aborts() < 2,
+            "escalation expected under starvation: {snap:?}"
+        );
+    }
+
+    #[test]
+    fn write_skew_is_rejected() {
+        // Two threads repeatedly attempt write skew on (x, y); the sum
+        // constraint x + y <= 1 written as "if other is 0, set mine to 1"
+        // must never end with both set.
+        let tm = Arc::new(tm(64, 2));
+        for round in 0..50 {
+            tm.heap().store_direct(0, 0);
+            tm.heap().store_direct(1, 0);
+            let b = Arc::new(std::sync::Barrier::new(2));
+            let mut joins = Vec::new();
+            for t in 0..2usize {
+                let tm = tm.clone();
+                let b = b.clone();
+                joins.push(std::thread::spawn(move || {
+                    b.wait();
+                    atomically(&*tm, t, |tx| {
+                        let other = tx.read(1 - t)?;
+                        if other == 0 {
+                            tx.write(t, 1)?;
+                        }
+                        Ok(())
+                    });
+                }));
+            }
+            for j in joins {
+                j.join().unwrap();
+            }
+            let x = tm.heap().load_direct(0);
+            let y = tm.heap().load_direct(1);
+            assert!(
+                x + y <= 1,
+                "round {round}: write skew committed (x={x}, y={y})"
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! CC shootout: replay one synthetic trace under 2PL, TOCC and ROCoCo.
+//!
+//! Shows the section 3/4 story on a concrete trace: the pessimistic
+//! locker aborts on any conflict, the timestamp-ordered validator aborts
+//! on stale reads (phantom orderings included), and ROCoCo only aborts on
+//! genuine dependency cycles — then proves all three outcomes
+//! serializable with the order-theory oracle.
+//!
+//! Run with: `cargo run --release --example cc_shootout [N] [T]`
+
+use rococo::cc::{run_policy, CcPolicy, Rococo, Tocc, TwoPhaseLocking};
+use rococo::core::order::rw_graph;
+use rococo::trace::{eigen_trace, EigenConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let accesses: usize = args.next().map_or(16, |s| s.parse().expect("N"));
+    let concurrency: usize = args.next().map_or(16, |s| s.parse().expect("T"));
+
+    let cfg = EigenConfig {
+        accesses,
+        transactions: 2_000,
+        ..EigenConfig::default()
+    };
+    println!(
+        "trace: {} txns, {} accesses each over {} locations (collision rate {:.1}%), T = {}",
+        cfg.transactions,
+        cfg.accesses,
+        cfg.locations,
+        cfg.collision_rate() * 100.0,
+        concurrency
+    );
+    let trace = eigen_trace(&cfg, 42);
+
+    let mut policies: Vec<Box<dyn CcPolicy>> = vec![
+        Box::new(TwoPhaseLocking::new()),
+        Box::new(Tocc::new()),
+        Box::new(Rococo::with_window(64)),
+    ];
+
+    println!();
+    println!("  {:<8} {:>9} {:>9} {:>12}", "policy", "commits", "aborts", "abort rate");
+    for p in policies.iter_mut() {
+        let r = run_policy(p.as_mut(), &trace, concurrency);
+        // Every committed history must be serializable — check it.
+        let graph = rw_graph(&r.committed_footprints);
+        assert!(
+            graph.is_acyclic(),
+            "{} produced a non-serializable history!",
+            p.name()
+        );
+        println!(
+            "  {:<8} {:>9} {:>9} {:>11.1}%   (history verified acyclic)",
+            p.name(),
+            r.stats.committed,
+            r.stats.aborted(),
+            r.stats.abort_rate() * 100.0
+        );
+    }
+
+    println!();
+    println!(
+        "ROCoCo commits every transaction TOCC commits, plus the ones whose only\n\
+         sin is a *phantom ordering* — a timestamp-order violation with no cycle\n\
+         in the actual read/write dependencies (paper, sections 3-4)."
+    );
+}

@@ -1,0 +1,126 @@
+//! Integration: the signature-based FPGA engine against the exact
+//! graph-level validator, and its soundness oracle.
+
+use proptest::prelude::*;
+use rococo::cc::{run_policy, Rococo};
+use rococo::core::order::{rw_graph, Footprint};
+use rococo::fpga::{EngineConfig, FpgaVerdict, ValidateRequest, ValidationEngine};
+use rococo::trace::{eigen_trace, EigenConfig, Trace};
+
+/// Replays a trace through the engine with the section 6.1 visibility
+/// model; returns (committed footprints, abort count).
+fn replay_engine(trace: &Trace, concurrency: usize, window: usize) -> (Vec<Footprint>, usize) {
+    let mut engine = ValidationEngine::new(EngineConfig {
+        window,
+        ..EngineConfig::default()
+    });
+    let mut commit_seq_of_arrival: Vec<Option<u64>> = vec![None; trace.len()];
+    let mut committed = Vec::new();
+    let mut aborts = 0usize;
+    for (arrival, txn) in trace.iter().enumerate() {
+        let snap_arrival = arrival.saturating_sub(concurrency);
+        let valid_ts = commit_seq_of_arrival[..snap_arrival]
+            .iter()
+            .flatten()
+            .max()
+            .map(|&s| s + 1)
+            .unwrap_or(0);
+        let snapshot_commits = commit_seq_of_arrival[..snap_arrival]
+            .iter()
+            .flatten()
+            .count();
+        let verdict = engine.process(&ValidateRequest {
+            tx_id: arrival as u64,
+            valid_ts,
+            read_addrs: txn.read_set(),
+            write_addrs: txn.write_set(),
+        });
+        match verdict {
+            FpgaVerdict::Commit { seq } => {
+                commit_seq_of_arrival[arrival] = Some(seq);
+                committed.push(Footprint {
+                    reads: txn.read_set(),
+                    writes: txn.write_set(),
+                    observed: snapshot_commits,
+                });
+            }
+            _ => aborts += 1,
+        }
+    }
+    (committed, aborts)
+}
+
+/// Soundness: whatever the bloom filters do, the engine may only commit
+/// serializable histories.
+#[test]
+fn engine_histories_are_serializable() {
+    for seed in 0..6u64 {
+        let trace = eigen_trace(
+            &EigenConfig {
+                accesses: 16,
+                transactions: 400,
+                ..EigenConfig::default()
+            },
+            seed,
+        );
+        let (committed, _) = replay_engine(&trace, 16, 64);
+        assert!(
+            rw_graph(&committed).is_acyclic(),
+            "seed {seed}: engine committed a cycle"
+        );
+    }
+}
+
+/// Completeness: signature aliasing may add aborts but only a few percent
+/// beyond the exact (address-precise) ROCoCo decision at m = 512.
+#[test]
+fn engine_abort_inflation_is_small() {
+    let mut exact = 0usize;
+    let mut engine_aborts = 0usize;
+    let mut total = 0usize;
+    for seed in 0..6u64 {
+        let trace = eigen_trace(
+            &EigenConfig {
+                accesses: 12,
+                transactions: 400,
+                ..EigenConfig::default()
+            },
+            seed,
+        );
+        let r = run_policy(&mut Rococo::with_window(64), &trace, 16);
+        exact += r.stats.aborted();
+        let (_, a) = replay_engine(&trace, 16, 64);
+        engine_aborts += a;
+        total += trace.len();
+    }
+    let exact_rate = exact as f64 / total as f64;
+    let engine_rate = engine_aborts as f64 / total as f64;
+    assert!(
+        engine_rate <= exact_rate + 0.05,
+        "signature aliasing inflated aborts too much: {exact_rate:.3} -> {engine_rate:.3}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Engine soundness under random small traces and window sizes.
+    #[test]
+    fn engine_soundness_random(
+        seed in 0u64..1000,
+        window in 4usize..32,
+        accesses in 2usize..12,
+        concurrency in 2usize..24,
+    ) {
+        let trace = eigen_trace(
+            &EigenConfig {
+                accesses,
+                transactions: 150,
+                ..EigenConfig::default()
+            },
+            seed,
+        );
+        let (committed, _) = replay_engine(&trace, concurrency, window);
+        prop_assert!(rw_graph(&committed).is_acyclic());
+    }
+}

@@ -1,0 +1,84 @@
+//! Integration: recorded STAMP workloads drive the virtual-time simulator
+//! coherently.
+
+use proptest::prelude::*;
+use rococo::sim::{simulate, CostModel, SimSystem, Workload};
+use rococo::stamp::apps::AppId;
+use rococo::stamp::harness::{record_workload, Preset};
+use rococo::stm::TxnRecord;
+
+#[test]
+fn recorded_stamp_workloads_simulate_completely() {
+    for app in [AppId::Ssca2, AppId::KmeansHigh, AppId::Genome] {
+        let (records, _wall) = record_workload(app, Preset::Tiny);
+        let w = Workload::from_records(records);
+        assert!(!w.is_empty(), "{}: nothing recorded", app.name());
+        for sys in [SimSystem::TinyStm, SimSystem::Tsx, SimSystem::Rococo] {
+            for threads in [1usize, 4, 14, 28] {
+                let o = simulate(&w, sys, threads, &CostModel::default());
+                assert_eq!(
+                    o.commits as usize,
+                    w.len(),
+                    "{} on {:?} x{threads}: transactions lost",
+                    app.name(),
+                    sys
+                );
+                assert!(o.makespan_ns > 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn one_thread_never_aborts() {
+    let (records, _) = record_workload(AppId::Ssca2, Preset::Tiny);
+    let w = Workload::from_records(records);
+    for sys in [SimSystem::TinyStm, SimSystem::Tsx, SimSystem::Rococo] {
+        let o = simulate(&w, sys, 1, &CostModel::default());
+        assert_eq!(o.total_aborts(), 0, "{sys:?}: solo run cannot conflict");
+    }
+}
+
+#[test]
+fn rococo_one_thread_penalty_matches_paper_direction() {
+    // Section 6.3: with one thread TinySTM outperforms ROCoCoTM (the
+    // out-of-core validation latency dominates), by roughly 1.32x.
+    let (records, _) = record_workload(AppId::Ssca2, Preset::Tiny);
+    let w = Workload::from_records(records);
+    let cost = CostModel::default();
+    let tiny = simulate(&w, SimSystem::TinyStm, 1, &cost).makespan_ns;
+    let roc = simulate(&w, SimSystem::Rococo, 1, &cost).makespan_ns;
+    assert!(
+        roc > tiny,
+        "1-thread ROCoCoTM must be slower than TinySTM (validation latency)"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random synthetic workloads: nothing is lost or duplicated, and
+    /// makespan never beats the critical path.
+    #[test]
+    fn simulation_conservation(
+        n in 1usize..120,
+        span in 1u64..64,
+        threads in 1usize..32,
+        exec in 100.0f64..5000.0,
+    ) {
+        let w: Workload = (0..n as u64)
+            .map(|i| TxnRecord {
+                reads: vec![i % span],
+                writes: vec![(i + 1) % span],
+                exec_ns: exec,
+                epoch: 1,
+            })
+            .collect();
+        for sys in [SimSystem::TinyStm, SimSystem::Tsx, SimSystem::Rococo] {
+            let o = simulate(&w, sys, threads, &CostModel::default());
+            prop_assert_eq!(o.commits as usize, n);
+            // No run can finish faster than one transaction's execution.
+            prop_assert!(o.makespan_ns >= exec);
+        }
+    }
+}

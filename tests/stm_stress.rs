@@ -1,0 +1,152 @@
+//! Cross-runtime stress tests: atomicity, isolation and opacity of the
+//! live TM systems under real threads.
+
+use rococo::stm::{
+    atomically, GlobalLockTm, RococoTm, TinyStm, TmConfig, TmSystem, Transaction, TsxHtm,
+};
+use std::sync::Arc;
+
+const PAIR_SUM: u64 = 1_000;
+
+/// Writers move value between a pair of cells keeping the sum constant;
+/// readers assert the invariant *inside* their transaction — a runtime
+/// without opacity / isolation lets a torn snapshot through.
+fn invariant_stress<S: TmSystem + 'static>(tm: Arc<S>, threads: usize, iters: usize) {
+    tm.heap().store_direct(0, PAIR_SUM);
+    tm.heap().store_direct(1, 0);
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        let tm = Arc::clone(&tm);
+        joins.push(std::thread::spawn(move || {
+            let writer = t % 2 == 0;
+            let mut x = (t as u64 + 3).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            for _ in 0..iters {
+                if writer {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let delta = x % 50;
+                    atomically(&*tm, t, |tx| {
+                        let a = tx.read(0)?;
+                        let b = tx.read(1)?;
+                        if a >= delta {
+                            tx.write(0, a - delta)?;
+                            tx.write(1, b + delta)?;
+                        } else {
+                            tx.write(0, a + b)?;
+                            tx.write(1, 0)?;
+                        }
+                        Ok(())
+                    });
+                } else {
+                    let (a, b) = atomically(&*tm, t, |tx| {
+                        let a = tx.read(0)?;
+                        let b = tx.read(1)?;
+                        Ok((a, b))
+                    });
+                    assert_eq!(a + b, PAIR_SUM, "torn snapshot observed");
+                }
+            }
+        }));
+    }
+    for j in joins {
+        j.join().expect("worker panicked");
+    }
+    assert_eq!(
+        tm.heap().load_direct(0) + tm.heap().load_direct(1),
+        PAIR_SUM,
+        "final state must preserve the invariant"
+    );
+}
+
+fn cfg(threads: usize) -> TmConfig {
+    TmConfig {
+        heap_words: 256,
+        max_threads: threads,
+    }
+}
+
+#[test]
+fn tinystm_opacity() {
+    invariant_stress(Arc::new(TinyStm::with_config(cfg(4))), 4, 2_000);
+}
+
+#[test]
+fn htm_opacity() {
+    invariant_stress(Arc::new(TsxHtm::with_config(cfg(4))), 4, 2_000);
+}
+
+#[test]
+fn rococotm_opacity() {
+    invariant_stress(Arc::new(RococoTm::with_config(cfg(4))), 4, 800);
+}
+
+#[test]
+fn global_lock_opacity() {
+    invariant_stress(Arc::new(GlobalLockTm::with_config(cfg(4))), 4, 2_000);
+}
+
+/// All runtimes agree on a deterministic single-threaded program.
+#[test]
+fn single_thread_equivalence() {
+    fn program<S: TmSystem>(tm: &S) -> u64 {
+        for i in 0..64usize {
+            tm.heap().store_direct(i, i as u64);
+        }
+        let mut acc = 0u64;
+        for round in 0..50u64 {
+            acc = atomically(tm, 0, |tx| {
+                let i = (round % 61) as usize;
+                let v = tx.read(i)?;
+                tx.write((i + 1) % 64, v.wrapping_mul(31).wrapping_add(round))?;
+                tx.read((i + 1) % 64)
+            });
+        }
+        let mut digest = acc;
+        for i in 0..64usize {
+            digest = digest
+                .wrapping_mul(1099511628211)
+                .wrapping_add(tm.heap().load_direct(i));
+        }
+        digest
+    }
+
+    let expected = program(&rococo::stm::SeqTm::with_config(cfg(1)));
+    assert_eq!(program(&GlobalLockTm::with_config(cfg(1))), expected);
+    assert_eq!(program(&TinyStm::with_config(cfg(1))), expected);
+    assert_eq!(program(&TsxHtm::with_config(cfg(1))), expected);
+    assert_eq!(program(&RococoTm::with_config(cfg(1))), expected);
+}
+
+/// ROCoCoTM's FPGA request/commit accounting matches the CPU-side stats.
+#[test]
+fn rococotm_accounting_consistency() {
+    let tm = Arc::new(RococoTm::with_config(cfg(4)));
+    let mut joins = Vec::new();
+    for t in 0..4usize {
+        let tm = Arc::clone(&tm);
+        joins.push(std::thread::spawn(move || {
+            for i in 0..300usize {
+                atomically(&*tm, t, |tx| {
+                    let v = tx.read(i % 32)?;
+                    tx.write((i + t) % 32, v + 1)
+                });
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let cpu = tm.stats().snapshot();
+    let fpga = tm.fpga_stats();
+    assert_eq!(cpu.commits, 1_200);
+    // Every write-transaction commit was granted by the engine; engine
+    // commits can exceed CPU commits only if a granted transaction's
+    // thread died (none here).
+    assert_eq!(
+        fpga.commits,
+        cpu.commits - cpu.read_only_commits,
+        "every RW commit must carry an FPGA grant"
+    );
+    assert_eq!(cpu.fpga_aborts(), fpga.aborts());
+}
