@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, build, and the full test suite.
+# Run before every push. Works fully offline (all deps are vendored).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: release build + tests"
+cargo build --release
+cargo test -q
+
+echo "== workspace tests"
+cargo test --workspace -q
+
+echo "CI OK"

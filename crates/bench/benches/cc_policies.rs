@@ -16,13 +16,25 @@ fn bench(c: &mut Criterion) {
         7,
     );
     c.bench_function("cc/2pl", |b| {
-        b.iter(|| black_box(run_policy(&mut TwoPhaseLocking::new(), black_box(&trace), 16)))
+        b.iter(|| {
+            black_box(run_policy(
+                &mut TwoPhaseLocking::new(),
+                black_box(&trace),
+                16,
+            ))
+        })
     });
     c.bench_function("cc/tocc", |b| {
         b.iter(|| black_box(run_policy(&mut Tocc::new(), black_box(&trace), 16)))
     });
     c.bench_function("cc/rococo_w64", |b| {
-        b.iter(|| black_box(run_policy(&mut Rococo::with_window(64), black_box(&trace), 16)))
+        b.iter(|| {
+            black_box(run_policy(
+                &mut Rococo::with_window(64),
+                black_box(&trace),
+                16,
+            ))
+        })
     });
 }
 

@@ -8,7 +8,9 @@
 //! stops paying (the ssca2 effect).
 
 use rococo_bench::{banner, Table};
-use rococo_fpga::{EngineConfig, PipelinedValidator, TimingModel, ValidateRequest, ValidationEngine};
+use rococo_fpga::{
+    EngineConfig, PipelinedValidator, TimingModel, ValidateRequest, ValidationEngine,
+};
 
 fn request(i: u64, valid_ts: u64) -> ValidateRequest {
     ValidateRequest {
@@ -34,10 +36,7 @@ fn main() {
             cci_write_ns: rt * 2.0 / 3.0,
             ..TimingModel::default()
         };
-        let mut v = PipelinedValidator::new(
-            ValidationEngine::new(EngineConfig::default()),
-            timing,
-        );
+        let mut v = PipelinedValidator::new(ValidationEngine::new(EngineConfig::default()), timing);
         // Saturate the pipeline: 28 lanes submitting back-to-back.
         let mut t_ns = 0.0f64;
         for i in 0..2000u64 {

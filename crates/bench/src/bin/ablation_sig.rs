@@ -36,7 +36,10 @@ fn main() {
         total += r.stats.total;
     }
     let exact_rate = exact_aborts as f64 / total as f64;
-    println!("exact (address-precise) ROCoCo abort rate: {}", pct(exact_rate));
+    println!(
+        "exact (address-precise) ROCoCo abort rate: {}",
+        pct(exact_rate)
+    );
     println!();
 
     let mut table = Table::new(["m bits", "k", "engine abort rate", "inflation vs exact"]);

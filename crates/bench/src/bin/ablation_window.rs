@@ -33,7 +33,12 @@ fn main() {
                 );
                 let r = run_policy(&mut Rococo::with_window(w), &trace, concurrency);
                 total += r.stats.aborted();
-                cycles += r.stats.aborts.get(&AbortReason::Cycle).copied().unwrap_or(0);
+                cycles += r
+                    .stats
+                    .aborts
+                    .get(&AbortReason::Cycle)
+                    .copied()
+                    .unwrap_or(0);
                 overflows += r
                     .stats
                     .aborts

@@ -125,7 +125,12 @@ fn main() {
 
     banner("Geomean speedups across applications");
     let mut table = Table::new([
-        "threads", "TinySTM", "TSX-HTM", "ROCoCoTM", "RoCo/Tiny", "RoCo/TSX",
+        "threads",
+        "TinySTM",
+        "TSX-HTM",
+        "ROCoCoTM",
+        "RoCo/Tiny",
+        "RoCo/TSX",
     ]);
     for (ti, &threads) in args.threads.iter().enumerate() {
         let g: Vec<f64> = (0..SYSTEMS.len())
@@ -216,7 +221,14 @@ fn wall_app(app: AppId, args: &Args, speedups: &mut [Vec<Vec<f64>>]) {
         baseline.stats.commits
     );
     let kinds = [SystemKind::TinyStm, SystemKind::TsxHtm, SystemKind::Rococo];
-    let mut table = Table::new(["system", "threads", "speedup", "abort", "fpga-abort", "valid"]);
+    let mut table = Table::new([
+        "system",
+        "threads",
+        "speedup",
+        "abort",
+        "fpga-abort",
+        "valid",
+    ]);
     for (si, &kind) in kinds.iter().enumerate() {
         for (ti, &threads) in args.threads.iter().enumerate() {
             let o = run(app, kind, threads, args.preset);
@@ -240,7 +252,11 @@ fn wall_app(app: AppId, args: &Args, speedups: &mut [Vec<Vec<f64>>]) {
                 format!("{speedup:.2}x"),
                 pct(o.stats.abort_rate()),
                 fpga_rate,
-                if o.validated { "ok".into() } else { "FAIL".to_string() },
+                if o.validated {
+                    "ok".into()
+                } else {
+                    "FAIL".to_string()
+                },
             ]);
         }
     }

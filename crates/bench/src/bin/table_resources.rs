@@ -45,10 +45,21 @@ fn main() {
         "  3.7%".into(),
     ]);
     t.print();
-    println!("  clock: {:.0} MHz (critical path: 512-bit bloom filter)", e.fmax_hz / 1e6);
+    println!(
+        "  clock: {:.0} MHz (critical path: 512-bit bloom filter)",
+        e.fmax_hz / 1e6
+    );
 
     banner("Scaling sweep (what doubles when W or m doubles)");
-    let mut s = Table::new(["W", "m", "registers", "ALMs", "DSPs", "BRAM bits", "fmax MHz"]);
+    let mut s = Table::new([
+        "W",
+        "m",
+        "registers",
+        "ALMs",
+        "DSPs",
+        "BRAM bits",
+        "fmax MHz",
+    ]);
     for (w, m) in [
         (16usize, 512usize),
         (32, 512),

@@ -1,0 +1,348 @@
+//! TxKV load generator: drives the sharded KV service with a skewed
+//! key-value workload and prints a throughput / latency / abort report
+//! per backend.
+//!
+//! Closed-loop mode (default) runs `--clients` threads that each issue
+//! their share of `--ops` requests back-to-back, retrying shed requests;
+//! open-loop mode paces submissions at `--rate` requests/s per client and
+//! counts shed requests as lost, so queue-wait shows up in the latency
+//! tail instead of slowing the arrival process.
+//!
+//! ```text
+//! cargo run -p rococo-bench --bin txkv_load            # tinystm + rococo, 1M ops each
+//! cargo run -p rococo-bench --bin txkv_load -- --quick # 100k ops for smoke runs
+//! cargo run -p rococo-bench --bin txkv_load -- --backend rococo --mode open --rate 50000
+//! ```
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rococo_bench::banner;
+use rococo_server::{PendingReply, Request, Response, TxKv, TxKvConfig, TxKvError};
+use rococo_stm::{RococoTm, TinyStm, TmConfig, TmSystem, TsxHtm};
+use rococo_trace::ZipfSampler;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Closed,
+    Open,
+}
+
+#[derive(Debug, Clone)]
+struct LoadCfg {
+    backend: String,
+    ops: u64,
+    shards: usize,
+    workers_per_shard: usize,
+    clients: usize,
+    keys: u64,
+    theta: f64,
+    read_pct: u32,
+    mode: Mode,
+    rate: u64,
+    queue_capacity: usize,
+}
+
+impl Default for LoadCfg {
+    fn default() -> Self {
+        Self {
+            backend: "both".into(),
+            ops: 1_000_000,
+            shards: 4,
+            workers_per_shard: 2,
+            clients: 8,
+            keys: 1 << 16,
+            theta: 0.9,
+            read_pct: 80,
+            mode: Mode::Closed,
+            rate: 25_000,
+            queue_capacity: 256,
+        }
+    }
+}
+
+fn parse_args() -> LoadCfg {
+    let mut cfg = LoadCfg::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--backend" => cfg.backend = value("--backend"),
+            "--ops" => cfg.ops = value("--ops").parse().expect("--ops"),
+            "--shards" => cfg.shards = value("--shards").parse().expect("--shards"),
+            "--workers" => cfg.workers_per_shard = value("--workers").parse().expect("--workers"),
+            "--clients" => cfg.clients = value("--clients").parse().expect("--clients"),
+            "--keys" => cfg.keys = value("--keys").parse().expect("--keys"),
+            "--theta" => cfg.theta = value("--theta").parse().expect("--theta"),
+            "--read-pct" => cfg.read_pct = value("--read-pct").parse().expect("--read-pct"),
+            "--rate" => cfg.rate = value("--rate").parse().expect("--rate"),
+            "--queue" => cfg.queue_capacity = value("--queue").parse().expect("--queue"),
+            "--mode" => {
+                cfg.mode = match value("--mode").as_str() {
+                    "open" => Mode::Open,
+                    "closed" => Mode::Closed,
+                    other => panic!("unknown mode {other} (open|closed)"),
+                }
+            }
+            "--quick" => cfg.ops = 100_000,
+            "--help" | "-h" => {
+                println!(
+                    "txkv_load [--backend tinystm|htm|rococo|both|all] [--ops N] \
+                     [--shards N] [--workers N] [--clients N] [--keys N] [--theta F] \
+                     [--read-pct P] [--mode closed|open] [--rate R] [--queue N] [--quick]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other} (try --help)"),
+        }
+    }
+    cfg
+}
+
+/// One random request drawn from the configured mix: `read_pct` % reads
+/// (mostly point gets, some snapshot multi-gets), the rest split across
+/// blind puts, read-modify-writes and two-key transfers. Keys are
+/// Zipf-distributed so hot keys collide like a real cache-line-hot
+/// workload.
+fn gen_request(rng: &mut StdRng, zipf: &ZipfSampler, cfg: &LoadCfg) -> Request {
+    let roll = rng.gen_range(0u32..100);
+    let key = zipf.sample(rng);
+    if roll < cfg.read_pct {
+        if roll % 8 == 0 {
+            let n = rng.gen_range(2usize..=8);
+            let keys = (0..n).map(|_| zipf.sample(rng)).collect();
+            Request::MultiGet { keys }
+        } else {
+            Request::Get { key }
+        }
+    } else {
+        match roll % 3 {
+            0 => Request::Put {
+                key,
+                value: rng.gen_range(0u64..1_000),
+            },
+            1 => Request::Add {
+                key,
+                delta: rng.gen_range(1u64..=16),
+            },
+            _ => {
+                let to = zipf.sample(rng);
+                Request::Transfer {
+                    from: key,
+                    to,
+                    amount: rng.gen_range(1u64..=8),
+                }
+            }
+        }
+    }
+}
+
+struct ClientTotals {
+    ok: AtomicU64,
+    shed: AtomicU64,
+    failed: AtomicU64,
+}
+
+fn closed_loop<S: TmSystem + 'static>(
+    kv: &TxKv<S>,
+    cfg: &LoadCfg,
+    client: usize,
+    quota: u64,
+    totals: &ClientTotals,
+) {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ (client as u64) << 8);
+    let zipf = ZipfSampler::new(cfg.keys, cfg.theta);
+    let mut done = 0u64;
+    while done < quota {
+        let req = gen_request(&mut rng, &zipf, cfg);
+        loop {
+            match kv.call(req.clone()) {
+                Ok(_) => {
+                    totals.ok.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Err(TxKvError::Overloaded { .. }) => {
+                    // Closed-loop clients retry shed requests after a
+                    // short pause; the shed is still counted server-side.
+                    totals.shed.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                Err(_) => {
+                    totals.failed.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        done += 1;
+    }
+}
+
+fn drain_ready(pending: &mut VecDeque<PendingReply>, totals: &ClientTotals) {
+    while let Some(front) = pending.front() {
+        match front.try_wait() {
+            Some(result) => {
+                record(result, totals);
+                pending.pop_front();
+            }
+            None => break,
+        }
+    }
+}
+
+fn record(result: Result<Response, TxKvError>, totals: &ClientTotals) {
+    match result {
+        Ok(_) => totals.ok.fetch_add(1, Ordering::Relaxed),
+        Err(_) => totals.failed.fetch_add(1, Ordering::Relaxed),
+    };
+}
+
+fn open_loop<S: TmSystem + 'static>(
+    kv: &TxKv<S>,
+    cfg: &LoadCfg,
+    client: usize,
+    quota: u64,
+    totals: &ClientTotals,
+) {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ (client as u64) << 8);
+    let zipf = ZipfSampler::new(cfg.keys, cfg.theta);
+    let interval = Duration::from_nanos(1_000_000_000 / cfg.rate.max(1));
+    let start = Instant::now();
+    let mut pending: VecDeque<PendingReply> = VecDeque::new();
+    for i in 0..quota {
+        // Pace to the arrival schedule; if we're behind, fire immediately
+        // (open loop never slows the arrival process to match service).
+        let due = start + interval * (i as u32);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let req = gen_request(&mut rng, &zipf, cfg);
+        match kv.submit(req) {
+            Ok(reply) => pending.push_back(reply),
+            Err(TxKvError::Overloaded { .. }) => {
+                // Open loop drops shed requests: that is the load shedding
+                // working as intended under overload.
+                totals.shed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                totals.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        drain_ready(&mut pending, totals);
+    }
+    for reply in pending {
+        record(reply.wait(), totals);
+    }
+}
+
+fn run_backend<S: TmSystem + 'static>(system: Arc<S>, cfg: &LoadCfg) {
+    let kv_cfg = TxKvConfig {
+        shards: cfg.shards,
+        workers_per_shard: cfg.workers_per_shard,
+        queue_capacity: cfg.queue_capacity,
+        keys: cfg.keys,
+        ..TxKvConfig::default()
+    };
+    let kv = TxKv::start(system, kv_cfg).expect("service start");
+    banner(&format!(
+        "txkv_load on {} ({} shards x {} workers, {} {} clients)",
+        kv.backend().name(),
+        cfg.shards,
+        cfg.workers_per_shard,
+        cfg.clients,
+        match cfg.mode {
+            Mode::Closed => "closed-loop",
+            Mode::Open => "open-loop",
+        },
+    ));
+
+    // Seed every account with a balance so transfers mostly succeed.
+    let heap = kv.backend().heap();
+    let table = kv.table();
+    for k in 0..cfg.keys {
+        heap.store_direct(table + k as usize, 1_000);
+    }
+
+    let totals = ClientTotals {
+        ok: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+    };
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        let base = cfg.ops / cfg.clients as u64;
+        let rem = cfg.ops % cfg.clients as u64;
+        for client in 0..cfg.clients {
+            let quota = base + u64::from((client as u64) < rem);
+            let kv = &kv;
+            let totals = &totals;
+            s.spawn(move || match cfg.mode {
+                Mode::Closed => closed_loop(kv, cfg, client, quota, totals),
+                Mode::Open => open_loop(kv, cfg, client, quota, totals),
+            });
+        }
+    });
+    let wall = started.elapsed();
+
+    let report = kv.shutdown();
+    let ok = totals.ok.load(Ordering::Relaxed);
+    let shed = totals.shed.load(Ordering::Relaxed);
+    let failed = totals.failed.load(Ordering::Relaxed);
+    println!(
+        "client view: {} offered, {} answered, {} shed, {} failed, {:.0} req/s over {:.2}s",
+        cfg.ops,
+        ok,
+        shed,
+        failed,
+        ok as f64 / wall.as_secs_f64(),
+        wall.as_secs_f64(),
+    );
+    print!("{report}");
+    let stats = report.aggregate;
+    let attempts = stats.committed + stats.retries;
+    if attempts > 0 {
+        println!(
+            "  attempt-level abort rate: {:.2}% ({} aborts / {} attempts)",
+            100.0 * stats.total_aborts() as f64 / attempts as f64,
+            stats.total_aborts(),
+            attempts,
+        );
+    }
+}
+
+fn main() {
+    let cfg = parse_args();
+    let tm_cfg = TmConfig {
+        heap_words: TxKvConfig {
+            keys: cfg.keys,
+            ..TxKvConfig::default()
+        }
+        .heap_words(),
+        max_threads: cfg.shards * cfg.workers_per_shard,
+    };
+    let run_tiny = matches!(cfg.backend.as_str(), "tinystm" | "both" | "all");
+    let run_htm = matches!(cfg.backend.as_str(), "htm" | "all");
+    let run_rococo = matches!(cfg.backend.as_str(), "rococo" | "both" | "all");
+    if !(run_tiny || run_htm || run_rococo) {
+        panic!(
+            "unknown backend {} (tinystm|htm|rococo|both|all)",
+            cfg.backend
+        );
+    }
+    if run_tiny {
+        run_backend(Arc::new(TinyStm::with_config(tm_cfg)), &cfg);
+    }
+    if run_htm {
+        run_backend(Arc::new(TsxHtm::with_config(tm_cfg)), &cfg);
+    }
+    if run_rococo {
+        run_backend(Arc::new(RococoTm::with_config(tm_cfg)), &cfg);
+    }
+}

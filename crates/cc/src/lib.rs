@@ -46,7 +46,5 @@ mod engine;
 mod policies;
 pub mod sweep;
 
-pub use engine::{
-    run_policy, AbortReason, CcRunResult, CcStats, CommittedView, Decision, TxnView,
-};
+pub use engine::{run_policy, AbortReason, CcRunResult, CcStats, CommittedView, Decision, TxnView};
 pub use policies::{Bocc, CcPolicy, Focc, Rococo, Tocc, TwoPhaseLocking};

@@ -110,7 +110,11 @@ impl DepVec {
     pub fn shift_down(&mut self) {
         let n = self.words.len();
         for i in 0..n {
-            let carry = if i + 1 < n { self.words[i + 1] << 63 } else { 0 };
+            let carry = if i + 1 < n {
+                self.words[i + 1] << 63
+            } else {
+                0
+            };
             self.words[i] = (self.words[i] >> 1) | carry;
         }
         // Mask off any bit that may have been shifted past the capacity.

@@ -11,7 +11,10 @@ pub struct CycleDetected;
 
 impl fmt::Display for CycleDetected {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "committing this transaction would create a dependency cycle")
+        write!(
+            f,
+            "committing this transaction would create a dependency cycle"
+        )
     }
 }
 
@@ -214,10 +217,7 @@ impl ReachMatrix {
                 }
             }
         }
-        ref_rows
-            .iter()
-            .zip(&self.rows[..n])
-            .all(|(a, b)| a == b)
+        ref_rows.iter().zip(&self.rows[..n]).all(|(a, b)| a == b)
     }
 }
 
@@ -340,7 +340,11 @@ mod tests {
     fn fill_evict_refill() {
         let mut m = ReachMatrix::new(4);
         for _ in 0..4 {
-            let prev: Vec<usize> = if m.is_empty() { vec![] } else { vec![m.len() - 1] };
+            let prev: Vec<usize> = if m.is_empty() {
+                vec![]
+            } else {
+                vec![m.len() - 1]
+            };
             commit(&mut m, &[], &prev);
         }
         assert!(m.is_full());
@@ -358,7 +362,9 @@ mod tests {
         commit(&mut m, &[], &[]);
         commit(&mut m, &[], &[0]);
         commit(&mut m, &[], &[0]);
-        let c = m.validate(&dv(8, &[]), &dv(8, &[1, 2])).expect("diamond join");
+        let c = m
+            .validate(&dv(8, &[]), &dv(8, &[1, 2]))
+            .expect("diamond join");
         m.commit(&c);
         assert!(m.reaches(0, 3));
         assert!(m.closure_invariant_holds());

@@ -77,8 +77,7 @@ impl DiGraph {
                 indeg[v] += 1;
             }
         }
-        let mut queue: VecDeque<usize> =
-            (0..self.n).filter(|&v| indeg[v] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..self.n).filter(|&v| indeg[v] == 0).collect();
         let mut order = Vec::with_capacity(self.n);
         while let Some(u) = queue.pop_front() {
             order.push(u);
@@ -203,7 +202,6 @@ pub fn rw_graph(txns: &[Footprint]) -> DiGraph {
 fn intersects(xs: &[u64], ys: &[u64]) -> bool {
     xs.iter().any(|x| ys.contains(x))
 }
-
 
 /// A transaction's lifetime on the real-time axis, for interval-order
 /// analysis (section 3.2, "strict serializability and interval order").

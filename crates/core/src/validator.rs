@@ -170,7 +170,10 @@ impl<T> RococoValidator<T> {
         // Everything that reaches an evicted commit precedes the candidate.
         b.or_with(&self.pinned);
 
-        let mut closure = self.matrix.validate(&f, &b).map_err(|_| RejectReason::Cycle)?;
+        let mut closure = self
+            .matrix
+            .validate(&f, &b)
+            .map_err(|_| RejectReason::Cycle)?;
 
         let mut candidate_pinned = false;
         if self.matrix.is_full() {
@@ -228,9 +231,7 @@ mod tests {
     fn cycle_is_rejected() {
         let mut v: RococoValidator<()> = RococoValidator::new(4);
         v.validate_and_commit(&deps(0, &[], &[]), ()).unwrap();
-        let err = v
-            .validate_and_commit(&deps(0, &[0], &[0]), ())
-            .unwrap_err();
+        let err = v.validate_and_commit(&deps(0, &[0], &[0]), ()).unwrap_err();
         assert_eq!(err, RejectReason::Cycle);
     }
 
@@ -263,7 +264,7 @@ mod tests {
         let mut v: RococoValidator<()> = RococoValidator::new(8);
         v.validate_and_commit(&deps(0, &[], &[]), ()).unwrap(); // t0
         v.validate_and_commit(&deps(0, &[], &[0]), ()).unwrap(); // t0 -> t1
-        // Candidate: t -> t0 (forward), t1 -> t (backward): cycle.
+                                                                 // Candidate: t -> t0 (forward), t1 -> t (backward): cycle.
         let err = v.validate_and_commit(&deps(0, &[0], &[1]), ()).unwrap_err();
         assert_eq!(err, RejectReason::Cycle);
         // But t -> t0 alone is the phantom-ordering case ROCoCo admits.

@@ -139,9 +139,11 @@ pub fn estimate(p: DesignPoint) -> ResourceEstimate {
     let matrix_bits = w * w;
     let staged_sig_bits = 2 * m; // read + write signature in flight
 
-    let registers =
-        SHELL_REGISTERS + REG_PER_MATRIX_BIT * matrix_bits + REG_PER_SIG_BIT_STAGED * staged_sig_bits * (w / 8);
-    let alms = SHELL_ALMS + ALM_PER_DETECT_BIT * 2 * m * w / 10 + ALM_PER_MATRIX_BIT * matrix_bits * 6;
+    let registers = SHELL_REGISTERS
+        + REG_PER_MATRIX_BIT * matrix_bits
+        + REG_PER_SIG_BIT_STAGED * staged_sig_bits * (w / 8);
+    let alms =
+        SHELL_ALMS + ALM_PER_DETECT_BIT * 2 * m * w / 10 + ALM_PER_MATRIX_BIT * matrix_bits * 6;
     let dsps = DSP_PER_HASH * k * lanes - 1;
     let bram_bits = SHELL_BRAM_BITS + BRAM_BITS_PER_HISTORY_BIT * w * 2 * m;
 
@@ -183,7 +185,11 @@ mod tests {
             "alms {}",
             e.alms
         );
-        assert!((e.dsps as f64 - 223.0).abs() / 223.0 < 0.05, "dsps {}", e.dsps);
+        assert!(
+            (e.dsps as f64 - 223.0).abs() / 223.0 < 0.05,
+            "dsps {}",
+            e.dsps
+        );
         assert!(
             (e.bram_bits as f64 - 2_055_802.0).abs() / 2_055_802.0 < 0.15,
             "bram {}",
@@ -191,7 +197,11 @@ mod tests {
         );
         assert!((u.alms - 0.5839).abs() < 0.10, "alm util {}", u.alms);
         assert!((u.dsps - 0.147).abs() < 0.02, "dsp util {}", u.dsps);
-        assert!((u.bram_bits - 0.037).abs() < 0.01, "bram util {}", u.bram_bits);
+        assert!(
+            (u.bram_bits - 0.037).abs() < 0.01,
+            "bram util {}",
+            u.bram_bits
+        );
         assert_eq!(e.fmax_hz, 200e6);
     }
 

@@ -68,6 +68,19 @@ impl ServiceHandle {
         reply_rx
     }
 
+    /// Number of blocking validations currently waiting for a verdict
+    /// across *all* clients of this engine. A cheap load signal: service
+    /// layers shed or delay work when the shared validator backs up.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Number of submitted requests the validator thread has not yet
+    /// dequeued (queue depth of the pull queue of Figure 6).
+    pub fn queue_depth(&self) -> usize {
+        self.tx.len()
+    }
+
     /// Reads the engine's statistics (round-trips through the thread).
     ///
     /// # Panics

@@ -1,0 +1,217 @@
+//! A lock-free log-bucketed latency histogram.
+//!
+//! Values are nanoseconds. Buckets are exact below 16 ns, then geometric
+//! with 8 sub-buckets per octave (a 3-bit mantissa), giving a worst-case
+//! relative error of ~6 % per recorded value — plenty for p50/p99/p999
+//! service latency while keeping recording to a handful of instructions
+//! on one relaxed atomic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Exact buckets for values `0..16`.
+const EXACT: usize = 16;
+/// Sub-buckets per octave above the exact range.
+const SUB: usize = 8;
+/// Octaves covered: values up to `2^63`.
+const OCTAVES: usize = 60;
+const BUCKETS: usize = EXACT + OCTAVES * SUB;
+
+/// Concurrent log-bucketed histogram of nanosecond values.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_of(ns: u64) -> usize {
+    if ns < EXACT as u64 {
+        return ns as usize;
+    }
+    let b = 63 - ns.leading_zeros() as usize; // top-bit position, >= 4
+    let m = ((ns >> (b - 3)) & 0x7) as usize; // 3 mantissa bits
+    (EXACT + (b - 4) * SUB + m).min(BUCKETS - 1)
+}
+
+/// Representative (midpoint) value of a bucket.
+fn value_of(idx: usize) -> u64 {
+    if idx < EXACT {
+        return idx as u64;
+    }
+    let b = 4 + (idx - EXACT) / SUB;
+    let m = ((idx - EXACT) % SUB) as u64;
+    let lower = (1u64 << b) | (m << (b - 3));
+    lower + (1u64 << (b - 3)) / 2
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (nanoseconds).
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Takes a point-in-time copy with precomputed quantiles.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    return value_of(i);
+                }
+            }
+            value_of(BUCKETS - 1)
+        };
+        HistogramSnapshot {
+            count: total,
+            mean_ns: if total == 0 {
+                0.0
+            } else {
+                self.sum.load(Ordering::Relaxed) as f64 / total as f64
+            },
+            p50_ns: quantile(0.50),
+            p99_ns: quantile(0.99),
+            p999_ns: quantile(0.999),
+            max_ns: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time histogram summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Values recorded.
+    pub count: u64,
+    /// Mean of recorded values (ns).
+    pub mean_ns: f64,
+    /// Median (ns, bucket midpoint).
+    pub p50_ns: u64,
+    /// 99th percentile (ns, bucket midpoint).
+    pub p99_ns: u64,
+    /// 99.9th percentile (ns, bucket midpoint).
+    pub p999_ns: u64,
+    /// Largest recorded value (ns, exact).
+    pub max_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Merges two snapshots (quantiles are approximated by the max of the
+    /// two — used only for aggregate reporting across shards).
+    pub fn merged_with(&self, other: &Self) -> Self {
+        let total = self.count + other.count;
+        Self {
+            count: total,
+            mean_ns: if total == 0 {
+                0.0
+            } else {
+                (self.mean_ns * self.count as f64 + other.mean_ns * other.count as f64)
+                    / total as f64
+            },
+            p50_ns: self.p50_ns.max(other.p50_ns),
+            p99_ns: self.p99_ns.max(other.p99_ns),
+            p999_ns: self.p999_ns.max(other.p999_ns),
+            max_ns: self.max_ns.max(other.max_ns),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotonic_and_bounded() {
+        let mut last = 0;
+        for ns in [0u64, 1, 15, 16, 17, 100, 1_000, 65_535, 1 << 30, u64::MAX] {
+            let b = bucket_of(ns);
+            assert!(b >= last, "bucket regressed at {ns}");
+            assert!(b < BUCKETS);
+            last = b;
+        }
+    }
+
+    #[test]
+    fn representative_value_within_relative_error() {
+        for ns in [20u64, 100, 999, 12_345, 1_000_000, 123_456_789] {
+            let rep = value_of(bucket_of(ns));
+            let err = (rep as f64 - ns as f64).abs() / ns as f64;
+            assert!(err < 0.07, "{ns} -> {rep} (err {err})");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let h = LatencyHistogram::new();
+        for ns in 1..=10_000u64 {
+            h.record(ns * 100); // 100ns .. 1ms
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10_000);
+        let p50 = s.p50_ns as f64;
+        let p99 = s.p99_ns as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.10, "p50 {p50}");
+        assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.10, "p99 {p99}");
+        assert!(s.p999_ns >= s.p99_ns && s.p99_ns >= s.p50_ns);
+        assert_eq!(s.max_ns, 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p999_ns, 0);
+        assert_eq!(s.mean_ns, 0.0);
+    }
+
+    #[test]
+    fn merge_weights_means() {
+        let a = HistogramSnapshot {
+            count: 10,
+            mean_ns: 100.0,
+            ..Default::default()
+        };
+        let b = HistogramSnapshot {
+            count: 30,
+            mean_ns: 200.0,
+            ..Default::default()
+        };
+        let m = a.merged_with(&b);
+        assert_eq!(m.count, 40);
+        assert!((m.mean_ns - 175.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,239 @@
+//! Bounded exponential backoff with jitter around the single-attempt
+//! transaction primitive.
+//!
+//! The STM's own [`atomically`](rococo_stm::atomically) spins forever;
+//! a service cannot, because a request holds a queue slot and a reply
+//! channel. [`RetryPolicy`] bounds the attempts and sleeps between them
+//! with decorrelated jitter so colliding workers spread out instead of
+//! re-colliding in lockstep. The retry loop deliberately reuses the
+//! backend's escalation machinery: under ROCoCoTM, consecutive aborts on
+//! the same worker thread trip the irrevocable path, so a bounded policy
+//! still converges on hot keys.
+
+use rococo_stm::{try_atomically, Abort, AbortKind, TmSystem};
+use std::time::Duration;
+
+/// Retry policy for one request: bounded attempts with capped
+/// exponential backoff plus jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum transaction attempts per request; `0` means unlimited
+    /// (rely entirely on the backend's escalation to converge).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, in nanoseconds.
+    pub base_delay_ns: u64,
+    /// Cap on any single backoff, in nanoseconds.
+    pub max_delay_ns: u64,
+    /// Fraction of the delay randomised away, in `0.0..=1.0`. With
+    /// jitter `j`, the actual sleep is uniform in
+    /// `[delay * (1 - j), delay]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 64,
+            base_delay_ns: 250,
+            max_delay_ns: 100_000,
+            jitter: 0.5,
+        }
+    }
+}
+
+/// xorshift64* step — cheap per-worker jitter source.
+pub(crate) fn next_rand(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+impl RetryPolicy {
+    /// The backoff (ns) to sleep after the `attempt`-th failure
+    /// (1-based), jittered using `rng` (xorshift state, must be nonzero).
+    pub fn backoff_ns(&self, attempt: u32, rng: &mut u64) -> u64 {
+        let exp = attempt.saturating_sub(1).min(63);
+        let raw = self
+            .base_delay_ns
+            .saturating_mul(1u64.checked_shl(exp).unwrap_or(u64::MAX))
+            .min(self.max_delay_ns);
+        let j = self.jitter.clamp(0.0, 1.0);
+        if j == 0.0 || raw == 0 {
+            return raw;
+        }
+        // Uniform in [raw * (1 - j), raw].
+        let r = (next_rand(rng) >> 11) as f64 / (1u64 << 53) as f64;
+        let lo = raw as f64 * (1.0 - j);
+        (lo + r * (raw as f64 - lo)) as u64
+    }
+
+    /// Runs `body` as repeated transaction attempts on `system` until it
+    /// commits or the policy gives up. Calls `on_abort` for every failed
+    /// attempt (for per-cause accounting). On success returns the result
+    /// and the number of attempts made.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last [`Abort`] once `max_attempts` is exhausted.
+    pub fn execute<S, R, F>(
+        &self,
+        system: &S,
+        thread_id: usize,
+        mut body: F,
+        mut on_abort: impl FnMut(AbortKind),
+        rng: &mut u64,
+    ) -> Result<(R, u32), (Abort, u32)>
+    where
+        S: TmSystem + ?Sized,
+        F: FnMut(&mut S::Tx<'_>) -> Result<R, Abort>,
+    {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match try_atomically(system, thread_id, &mut body) {
+                Ok(r) => return Ok((r, attempts)),
+                Err(abort) => {
+                    on_abort(abort.kind);
+                    if self.max_attempts != 0 && attempts >= self.max_attempts {
+                        return Err((abort, attempts));
+                    }
+                    let ns = self.backoff_ns(attempts, rng);
+                    if ns > 0 {
+                        sleep_ns(ns);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sleeps roughly `ns` nanoseconds: spin for sub-microsecond waits (a
+/// syscall would dominate), otherwise park the thread.
+fn sleep_ns(ns: u64) {
+    if ns < 1_000 {
+        for _ in 0..ns {
+            std::hint::spin_loop();
+        }
+    } else {
+        std::thread::sleep(Duration::from_nanos(ns));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded_by_max_delay() {
+        let p = RetryPolicy {
+            max_attempts: 0,
+            base_delay_ns: 100,
+            max_delay_ns: 5_000,
+            jitter: 0.0,
+        };
+        let mut rng = 42;
+        assert_eq!(p.backoff_ns(1, &mut rng), 100);
+        assert_eq!(p.backoff_ns(2, &mut rng), 200);
+        assert_eq!(p.backoff_ns(6, &mut rng), 3_200);
+        // Caps instead of growing without bound.
+        assert_eq!(p.backoff_ns(7, &mut rng), 5_000);
+        assert_eq!(p.backoff_ns(63, &mut rng), 5_000);
+        assert_eq!(p.backoff_ns(u32::MAX, &mut rng), 5_000);
+    }
+
+    #[test]
+    fn backoff_is_jittered_within_band() {
+        let p = RetryPolicy {
+            max_attempts: 0,
+            base_delay_ns: 1_000,
+            max_delay_ns: 1_000_000,
+            jitter: 0.5,
+        };
+        let mut rng = 0x1234_5678_9abc_def0;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            let d = p.backoff_ns(4, &mut rng); // raw = 8_000
+            assert!((4_000..=8_000).contains(&d), "delay {d} out of band");
+            seen.insert(d);
+        }
+        // Actually jittered: many distinct values, not a constant.
+        assert!(seen.len() > 16, "only {} distinct delays", seen.len());
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut a = 1;
+        let mut b = 999;
+        assert_eq!(p.backoff_ns(3, &mut a), p.backoff_ns(3, &mut b));
+    }
+
+    #[test]
+    fn execute_gives_up_after_max_attempts() {
+        use rococo_stm::{Abort, TinyStm, TmConfig};
+        let tm = TinyStm::with_config(TmConfig {
+            heap_words: 64,
+            max_threads: 1,
+        });
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base_delay_ns: 0,
+            max_delay_ns: 0,
+            jitter: 0.0,
+        };
+        let mut causes = Vec::new();
+        let mut rng = 7;
+        let res: Result<((), u32), _> = p.execute(
+            &tm,
+            0,
+            |_tx| Err(Abort::new(AbortKind::Explicit)),
+            |k| causes.push(k),
+            &mut rng,
+        );
+        let (abort, attempts) = res.unwrap_err();
+        assert_eq!(attempts, 3);
+        assert_eq!(abort.kind, AbortKind::Explicit);
+        assert_eq!(causes, vec![AbortKind::Explicit; 3]);
+    }
+
+    #[test]
+    fn execute_counts_attempts_on_success() {
+        use rococo_stm::{Abort, TinyStm, TmConfig, Transaction};
+        let tm = TinyStm::with_config(TmConfig {
+            heap_words: 64,
+            max_threads: 1,
+        });
+        let addr = tm.heap().alloc(1);
+        let p = RetryPolicy {
+            base_delay_ns: 0,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut rng = 7;
+        let mut fail_first = true;
+        let (val, attempts) = p
+            .execute(
+                &tm,
+                0,
+                |tx| {
+                    if fail_first {
+                        fail_first = false;
+                        return Err(Abort::new(AbortKind::Explicit));
+                    }
+                    tx.write(addr, 5)?;
+                    tx.read(addr)
+                },
+                |_| {},
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(val, 5);
+        assert_eq!(attempts, 2);
+    }
+}

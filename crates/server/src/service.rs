@@ -1,0 +1,429 @@
+//! The TxKV service front-end: configuration, admission, routing,
+//! lifecycle.
+
+use crate::request::{Request, Response, TxKvError};
+use crate::retry::RetryPolicy;
+use crate::shard::{run_worker, Job};
+use crate::stats::{ShardSnapshot, ShardStats, TxKvReport};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use rococo_stm::{Addr, TmSystem};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TxKvConfig {
+    /// Number of shards (request queues). Requests are hash-routed by
+    /// primary key; sharding partitions the queueing and the statistics,
+    /// not the data — all shards execute against one shared TM heap, so
+    /// cross-shard transfers are ordinary transactions.
+    pub shards: usize,
+    /// Worker threads draining each shard's queue.
+    pub workers_per_shard: usize,
+    /// Bounded depth of each shard queue. When a queue is full, new
+    /// requests are shed with [`TxKvError::Overloaded`] instead of
+    /// queueing without bound.
+    pub queue_capacity: usize,
+    /// Keyspace size: valid keys are `0..keys`, each one word on the TM
+    /// heap.
+    pub keys: u64,
+    /// Retry policy applied to every request.
+    pub retry: RetryPolicy,
+}
+
+impl Default for TxKvConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            workers_per_shard: 2,
+            queue_capacity: 128,
+            keys: 1 << 16,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl TxKvConfig {
+    /// Heap words the backend must be built with to hold the key table
+    /// (plus slack for future service metadata).
+    pub fn heap_words(&self) -> usize {
+        self.keys as usize + 64
+    }
+
+    /// Total worker threads the service will start — the backend's
+    /// `max_threads` must be at least this.
+    pub fn worker_threads(&self) -> usize {
+        self.shards * self.workers_per_shard
+    }
+}
+
+/// A submitted request's future reply. Obtain via [`TxKv::submit`]; wait
+/// with [`PendingReply::wait`].
+#[derive(Debug)]
+pub struct PendingReply {
+    rx: Receiver<Result<Response, TxKvError>>,
+}
+
+impl PendingReply {
+    /// Blocks until the shard worker answers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the worker's [`TxKvError`]; returns
+    /// [`TxKvError::ShuttingDown`] if the service stopped before
+    /// answering.
+    pub fn wait(self) -> Result<Response, TxKvError> {
+        self.rx.recv().unwrap_or(Err(TxKvError::ShuttingDown))
+    }
+
+    /// Non-blocking poll: `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<Response, TxKvError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// The TxKV service: sharded queues and worker pools over one shared
+/// transactional heap. See the crate docs for the architecture.
+#[derive(Debug)]
+pub struct TxKv<S: TmSystem + 'static> {
+    system: Arc<S>,
+    cfg: TxKvConfig,
+    table: Addr,
+    senders: Vec<Sender<Job>>,
+    stats: Vec<Arc<ShardStats>>,
+    workers: Vec<JoinHandle<()>>,
+    started: Instant,
+}
+
+impl<S: TmSystem + 'static> TxKv<S> {
+    /// Starts the service: allocates the key table on the backend's heap
+    /// and spawns `shards * workers_per_shard` worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxKvError::InvalidConfig`] for a zero-sized pool or a
+    /// heap too small for the key table.
+    pub fn start(system: Arc<S>, cfg: TxKvConfig) -> Result<Self, TxKvError> {
+        if cfg.shards == 0 || cfg.workers_per_shard == 0 {
+            return Err(TxKvError::InvalidConfig {
+                reason: "shards and workers_per_shard must be at least 1",
+            });
+        }
+        if cfg.keys == 0 {
+            return Err(TxKvError::InvalidConfig {
+                reason: "keyspace must hold at least one key",
+            });
+        }
+        if cfg.queue_capacity == 0 {
+            return Err(TxKvError::InvalidConfig {
+                reason: "queue_capacity must be at least 1",
+            });
+        }
+        let heap = system.heap();
+        if heap.len() - heap.allocated() < cfg.keys as usize {
+            return Err(TxKvError::InvalidConfig {
+                reason:
+                    "backend heap too small for the key table (size it with TxKvConfig::heap_words)",
+            });
+        }
+        let table: Addr = heap.alloc(cfg.keys as usize);
+
+        let mut senders = Vec::with_capacity(cfg.shards);
+        let mut stats = Vec::with_capacity(cfg.shards);
+        let mut workers = Vec::with_capacity(cfg.worker_threads());
+        for shard in 0..cfg.shards {
+            let (tx, rx) = bounded::<Job>(cfg.queue_capacity);
+            let shard_stats = Arc::new(ShardStats::new());
+            for w in 0..cfg.workers_per_shard {
+                let thread_id = shard * cfg.workers_per_shard + w;
+                let system = Arc::clone(&system);
+                let stats = Arc::clone(&shard_stats);
+                let rx = rx.clone();
+                let policy = cfg.retry;
+                let handle = std::thread::Builder::new()
+                    .name(format!("txkv-{shard}-{w}"))
+                    .spawn(move || run_worker(system, table, thread_id, policy, stats, rx))
+                    .expect("failed to spawn txkv worker");
+                workers.push(handle);
+            }
+            senders.push(tx);
+            stats.push(shard_stats);
+        }
+        Ok(Self {
+            system,
+            cfg,
+            table,
+            senders,
+            stats,
+            workers,
+            started: Instant::now(),
+        })
+    }
+
+    /// The backend this service runs on.
+    pub fn backend(&self) -> &Arc<S> {
+        &self.system
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &TxKvConfig {
+        &self.cfg
+    }
+
+    /// Heap address of the key table (key `k` lives at `table() + k`).
+    /// Exposed so harnesses can bulk-initialise the keyspace with
+    /// [`TmHeap::store_direct`](rococo_stm::TmHeap::store_direct) before
+    /// opening traffic; direct stores are only safe while no transactions
+    /// run.
+    pub fn table(&self) -> Addr {
+        self.table
+    }
+
+    /// The shard a key routes to (Fibonacci hash of the primary key).
+    pub fn shard_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.cfg.shards
+    }
+
+    /// Submits a request without waiting for the reply (open-loop
+    /// clients submit many, then drain the [`PendingReply`]s).
+    ///
+    /// # Errors
+    ///
+    /// * [`TxKvError::TooManyKeys`] / [`TxKvError::KeyOutOfRange`] —
+    ///   invalid request, rejected before touching a queue.
+    /// * [`TxKvError::Overloaded`] — the target shard's queue is full;
+    ///   the request was shed.
+    /// * [`TxKvError::ShuttingDown`] — the service stopped.
+    pub fn submit(&self, req: Request) -> Result<PendingReply, TxKvError> {
+        if let Request::MultiGet { keys } = &req {
+            if keys.len() > Request::MAX_MULTI_GET {
+                return Err(TxKvError::TooManyKeys {
+                    requested: keys.len(),
+                });
+            }
+        }
+        let mut bad_key = None;
+        req.for_each_key(|k| {
+            if k >= self.cfg.keys && bad_key.is_none() {
+                bad_key = Some(k);
+            }
+        });
+        if let Some(key) = bad_key {
+            return Err(TxKvError::KeyOutOfRange {
+                key,
+                keys: self.cfg.keys,
+            });
+        }
+
+        let shard = self.shard_of(req.primary_key());
+        let (reply_tx, reply_rx) = bounded(1);
+        let job = Job {
+            req,
+            enqueued_at: Instant::now(),
+            reply: reply_tx,
+        };
+        match self.senders[shard].try_send(job) {
+            Ok(()) => {
+                self.stats[shard].note_enqueued();
+                Ok(PendingReply { rx: reply_rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.stats[shard].note_shed();
+                Err(TxKvError::Overloaded { shard })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(TxKvError::ShuttingDown),
+        }
+    }
+
+    /// Submits a request and blocks for the response (closed-loop
+    /// clients).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`TxKv::submit`] returns, plus the worker-side errors
+    /// ([`TxKvError::RetriesExhausted`]).
+    pub fn call(&self, req: Request) -> Result<Response, TxKvError> {
+        self.submit(req)?.wait()
+    }
+
+    /// A live report (counters keep moving while it is taken).
+    pub fn report(&self) -> TxKvReport {
+        self.build_report()
+    }
+
+    /// Stops the service: closes every queue, joins the workers (they
+    /// finish queued requests first), and returns the final report.
+    pub fn shutdown(mut self) -> TxKvReport {
+        self.stop_and_join();
+        self.build_report()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.senders.clear(); // workers' recv() errors out once queues drain
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    fn build_report(&self) -> TxKvReport {
+        let per_shard: Vec<ShardSnapshot> = self.stats.iter().map(|s| s.snapshot()).collect();
+        let mut aggregate = ShardSnapshot::default();
+        for s in &per_shard {
+            aggregate.merge(s);
+        }
+        TxKvReport {
+            backend: self.system.name(),
+            per_shard,
+            aggregate,
+            elapsed: self.started.elapsed(),
+        }
+    }
+}
+
+impl<S: TmSystem + 'static> Drop for TxKv<S> {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rococo_stm::{RococoTm, TinyStm, TmConfig, TsxHtm};
+
+    fn tiny(cfg: &TxKvConfig) -> Arc<TinyStm> {
+        Arc::new(TinyStm::with_config(TmConfig {
+            heap_words: cfg.heap_words(),
+            max_threads: cfg.worker_threads(),
+        }))
+    }
+
+    #[test]
+    fn basic_requests_roundtrip() {
+        let cfg = TxKvConfig {
+            shards: 2,
+            workers_per_shard: 1,
+            keys: 128,
+            ..TxKvConfig::default()
+        };
+        let kv = TxKv::start(tiny(&cfg), cfg).unwrap();
+        assert_eq!(
+            kv.call(Request::Put { key: 1, value: 11 }).unwrap(),
+            Response::Done
+        );
+        assert_eq!(
+            kv.call(Request::Add { key: 1, delta: 4 }).unwrap(),
+            Response::Value(15)
+        );
+        assert_eq!(
+            kv.call(Request::MultiGet { keys: vec![0, 1] }).unwrap(),
+            Response::Values(vec![0, 15])
+        );
+        let report = kv.shutdown();
+        assert_eq!(report.aggregate.committed, 3);
+        assert_eq!(report.aggregate.failed, 0);
+        assert_eq!(report.aggregate.latency.count, 3);
+    }
+
+    #[test]
+    fn works_on_every_backend() {
+        let cfg = TxKvConfig {
+            shards: 2,
+            workers_per_shard: 1,
+            keys: 64,
+            ..TxKvConfig::default()
+        };
+        let tm_cfg = TmConfig {
+            heap_words: cfg.heap_words(),
+            max_threads: cfg.worker_threads(),
+        };
+        fn smoke<S: TmSystem + 'static>(system: Arc<S>, cfg: TxKvConfig) {
+            let kv = TxKv::start(system, cfg).unwrap();
+            kv.call(Request::Put { key: 9, value: 2 }).unwrap();
+            assert_eq!(
+                kv.call(Request::Get { key: 9 }).unwrap(),
+                Response::Value(2)
+            );
+            assert_eq!(kv.shutdown().aggregate.committed, 2);
+        }
+        smoke(Arc::new(TinyStm::with_config(tm_cfg)), cfg);
+        smoke(Arc::new(TsxHtm::with_config(tm_cfg)), cfg);
+        smoke(Arc::new(RococoTm::with_config(tm_cfg)), cfg);
+    }
+
+    #[test]
+    fn rejects_invalid_requests_up_front() {
+        let cfg = TxKvConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            keys: 16,
+            ..TxKvConfig::default()
+        };
+        let kv = TxKv::start(tiny(&cfg), cfg).unwrap();
+        assert_eq!(
+            kv.call(Request::Get { key: 16 }),
+            Err(TxKvError::KeyOutOfRange { key: 16, keys: 16 })
+        );
+        assert_eq!(
+            kv.call(Request::Transfer {
+                from: 3,
+                to: 99,
+                amount: 1
+            }),
+            Err(TxKvError::KeyOutOfRange { key: 99, keys: 16 })
+        );
+        let big = vec![0u64; Request::MAX_MULTI_GET + 1];
+        assert_eq!(
+            kv.call(Request::MultiGet { keys: big }),
+            Err(TxKvError::TooManyKeys {
+                requested: Request::MAX_MULTI_GET + 1
+            })
+        );
+        // Service still healthy afterwards.
+        assert_eq!(
+            kv.call(Request::Get { key: 0 }).unwrap(),
+            Response::Value(0)
+        );
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let cfg = TxKvConfig {
+            shards: 0,
+            ..TxKvConfig::default()
+        };
+        let tm = Arc::new(TinyStm::with_config(TmConfig {
+            heap_words: 1024,
+            max_threads: 1,
+        }));
+        assert!(matches!(
+            TxKv::start(Arc::clone(&tm), cfg),
+            Err(TxKvError::InvalidConfig { .. })
+        ));
+        // Heap too small for the table.
+        let cfg = TxKvConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            keys: 1 << 20,
+            ..TxKvConfig::default()
+        };
+        assert!(matches!(
+            TxKv::start(tm, cfg),
+            Err(TxKvError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn drop_without_shutdown_joins_workers() {
+        let cfg = TxKvConfig {
+            shards: 2,
+            workers_per_shard: 2,
+            keys: 32,
+            ..TxKvConfig::default()
+        };
+        let kv = TxKv::start(tiny(&cfg), cfg).unwrap();
+        kv.call(Request::Put { key: 0, value: 1 }).unwrap();
+        drop(kv); // must not hang or leak threads
+    }
+}

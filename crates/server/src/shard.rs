@@ -1,0 +1,214 @@
+//! Shard workers: the threads that drain a shard's queue and run each
+//! request as one transaction.
+
+use crate::request::{Request, Response, TxKvError};
+use crate::retry::RetryPolicy;
+use crate::stats::ShardStats;
+use crossbeam::channel::{Receiver, Sender};
+use rococo_stm::{Abort, Addr, TmSystem, Transaction};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One queued request plus everything needed to answer it.
+pub(crate) struct Job {
+    pub(crate) req: Request,
+    pub(crate) enqueued_at: Instant,
+    pub(crate) reply: Sender<Result<Response, TxKvError>>,
+}
+
+/// Runs one request body inside an open transaction. Shared by every
+/// retry attempt; all writes are buffered until commit, so re-execution
+/// after an abort is safe.
+fn apply<T: Transaction>(tx: &mut T, table: Addr, req: &Request) -> Result<Response, Abort> {
+    let addr = |key: u64| table + key as Addr;
+    match req {
+        Request::Get { key } => Ok(Response::Value(tx.read(addr(*key))?)),
+        Request::Put { key, value } => {
+            tx.write(addr(*key), *value)?;
+            Ok(Response::Done)
+        }
+        Request::Add { key, delta } => {
+            let new = tx.read(addr(*key))?.wrapping_add(*delta);
+            tx.write(addr(*key), new)?;
+            Ok(Response::Value(new))
+        }
+        Request::Transfer { from, to, amount } => {
+            let src = tx.read(addr(*from))?;
+            if src < *amount {
+                return Ok(Response::Transferred(false));
+            }
+            // A self-transfer succeeds but must not touch the balance:
+            // writing `src - amount` then `dst + amount` to the same key
+            // would mint money.
+            if from != to {
+                let dst = tx.read(addr(*to))?;
+                tx.write(addr(*from), src - amount)?;
+                tx.write(addr(*to), dst.wrapping_add(*amount))?;
+            }
+            Ok(Response::Transferred(true))
+        }
+        Request::MultiGet { keys } => {
+            let mut out = Vec::with_capacity(keys.len());
+            for key in keys {
+                out.push(tx.read(addr(*key))?);
+            }
+            Ok(Response::Values(out))
+        }
+    }
+}
+
+/// The worker loop: drain the shard queue until every sender is dropped
+/// (service shutdown), executing each job with the retry policy and
+/// recording per-shard statistics.
+pub(crate) fn run_worker<S: TmSystem + ?Sized>(
+    system: Arc<S>,
+    table: Addr,
+    thread_id: usize,
+    policy: RetryPolicy,
+    stats: Arc<ShardStats>,
+    rx: Receiver<Job>,
+) {
+    // Per-worker jitter state; any distinct nonzero seed works.
+    let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ ((thread_id as u64 + 1) << 17);
+    while let Ok(job) = rx.recv() {
+        let result = policy.execute(
+            &*system,
+            thread_id,
+            |tx| apply(tx, table, &job.req),
+            |kind| stats.record_abort(kind),
+            &mut rng,
+        );
+        let reply = match result {
+            Ok((resp, attempts)) => {
+                stats.committed.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .retries
+                    .fetch_add(u64::from(attempts - 1), Ordering::Relaxed);
+                Ok(resp)
+            }
+            Err((abort, attempts)) => {
+                stats.failed.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .retries
+                    .fetch_add(u64::from(attempts - 1), Ordering::Relaxed);
+                Err(TxKvError::RetriesExhausted {
+                    attempts,
+                    last: abort.kind,
+                })
+            }
+        };
+        stats
+            .latency
+            .record(job.enqueued_at.elapsed().as_nanos() as u64);
+        // The client may have dropped its PendingReply; that is not the
+        // worker's problem.
+        let _ = job.reply.send(reply);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rococo_stm::{try_atomically, TinyStm, TmConfig};
+
+    fn tm() -> (TinyStm, Addr) {
+        let tm = TinyStm::with_config(TmConfig {
+            heap_words: 256,
+            max_threads: 2,
+        });
+        let table = tm.heap().alloc(64);
+        (tm, table)
+    }
+
+    fn run(tm: &TinyStm, table: Addr, req: Request) -> Response {
+        try_atomically(tm, 0, &mut |tx| apply(tx, table, &req)).unwrap()
+    }
+
+    #[test]
+    fn apply_request_semantics() {
+        let (tm, t) = tm();
+        assert_eq!(
+            run(&tm, t, Request::Put { key: 3, value: 10 }),
+            Response::Done
+        );
+        assert_eq!(run(&tm, t, Request::Get { key: 3 }), Response::Value(10));
+        assert_eq!(
+            run(&tm, t, Request::Add { key: 3, delta: 5 }),
+            Response::Value(15)
+        );
+        assert_eq!(
+            run(
+                &tm,
+                t,
+                Request::Transfer {
+                    from: 3,
+                    to: 4,
+                    amount: 6
+                }
+            ),
+            Response::Transferred(true)
+        );
+        assert_eq!(
+            run(&tm, t, Request::MultiGet { keys: vec![3, 4] }),
+            Response::Values(vec![9, 6])
+        );
+    }
+
+    #[test]
+    fn transfer_declines_on_insufficient_balance() {
+        let (tm, t) = tm();
+        run(&tm, t, Request::Put { key: 0, value: 5 });
+        assert_eq!(
+            run(
+                &tm,
+                t,
+                Request::Transfer {
+                    from: 0,
+                    to: 1,
+                    amount: 6
+                }
+            ),
+            Response::Transferred(false)
+        );
+        // Nothing moved.
+        assert_eq!(run(&tm, t, Request::Get { key: 0 }), Response::Value(5));
+        assert_eq!(run(&tm, t, Request::Get { key: 1 }), Response::Value(0));
+    }
+
+    #[test]
+    fn self_transfer_conserves_balance() {
+        let (tm, t) = tm();
+        run(&tm, t, Request::Put { key: 2, value: 50 });
+        assert_eq!(
+            run(
+                &tm,
+                t,
+                Request::Transfer {
+                    from: 2,
+                    to: 2,
+                    amount: 10
+                }
+            ),
+            Response::Transferred(true)
+        );
+        assert_eq!(run(&tm, t, Request::Get { key: 2 }), Response::Value(50));
+    }
+
+    #[test]
+    fn add_wraps() {
+        let (tm, t) = tm();
+        run(
+            &tm,
+            t,
+            Request::Put {
+                key: 1,
+                value: u64::MAX,
+            },
+        );
+        assert_eq!(
+            run(&tm, t, Request::Add { key: 1, delta: 2 }),
+            Response::Value(1)
+        );
+    }
+}

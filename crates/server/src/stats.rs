@@ -1,0 +1,264 @@
+//! Per-shard observability: commit/retry/shed counters, abort-cause
+//! breakdowns, and latency histograms.
+
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+use rococo_stm::AbortKind;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Live counters for one shard. All counters are relaxed atomics updated
+/// by that shard's workers and the submitting clients.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Requests admitted to the shard queue.
+    pub(crate) enqueued: AtomicU64,
+    /// Requests shed by admission control (queue full).
+    pub(crate) shed: AtomicU64,
+    /// Requests whose transaction committed.
+    pub(crate) committed: AtomicU64,
+    /// Requests that failed (retries exhausted).
+    pub(crate) failed: AtomicU64,
+    /// Extra attempts beyond the first, across all requests.
+    pub(crate) retries: AtomicU64,
+    /// Aborts by cause, indexed by [`AbortKind::index`].
+    pub(crate) aborts: [AtomicU64; 6],
+    /// Request latency from enqueue to reply (includes queue wait).
+    pub(crate) latency: LatencyHistogram,
+}
+
+impl ShardStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one abort of the given cause.
+    pub fn record_abort(&self, kind: AbortKind) {
+        self.aborts[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Notes a request admitted to the shard queue.
+    pub fn note_enqueued(&self) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Notes a request shed by admission control.
+    pub fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy.
+    pub fn snapshot(&self) -> ShardSnapshot {
+        let mut aborts = [0u64; 6];
+        for (dst, src) in aborts.iter_mut().zip(self.aborts.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        ShardSnapshot {
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            committed: self.committed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            aborts,
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time copy of one shard's counters (or, for
+/// [`TxKvReport::aggregate`], their sum across shards).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardSnapshot {
+    /// Requests admitted to the shard queue.
+    pub enqueued: u64,
+    /// Requests shed by admission control (queue full).
+    pub shed: u64,
+    /// Requests whose transaction committed.
+    pub committed: u64,
+    /// Requests that failed (retries exhausted).
+    pub failed: u64,
+    /// Extra attempts beyond the first, across all requests.
+    pub retries: u64,
+    /// Aborts by cause, indexed by [`AbortKind::index`].
+    pub aborts: [u64; 6],
+    /// Request latency from enqueue to reply.
+    pub latency: HistogramSnapshot,
+}
+
+impl ShardSnapshot {
+    /// Total aborts across every cause.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts.iter().sum()
+    }
+
+    /// `(label, count)` pairs for every abort cause with a nonzero count.
+    pub fn abort_breakdown(&self) -> Vec<(&'static str, u64)> {
+        AbortKind::ALL
+            .iter()
+            .map(|k| (k.label(), self.aborts[k.index()]))
+            .filter(|&(_, n)| n > 0)
+            .collect()
+    }
+
+    /// Merges another snapshot into this one (used to build the
+    /// cross-shard aggregate; quantiles combine conservatively).
+    pub fn merge(&mut self, other: &ShardSnapshot) {
+        self.enqueued += other.enqueued;
+        self.shed += other.shed;
+        self.committed += other.committed;
+        self.failed += other.failed;
+        self.retries += other.retries;
+        for (dst, src) in self.aborts.iter_mut().zip(other.aborts.iter()) {
+            *dst += src;
+        }
+        self.latency = self.latency.merged_with(&other.latency);
+    }
+}
+
+/// The service-wide report returned by [`TxKv::report`] and
+/// [`TxKv::shutdown`].
+///
+/// [`TxKv::report`]: crate::TxKv::report
+/// [`TxKv::shutdown`]: crate::TxKv::shutdown
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TxKvReport {
+    /// The backend's [`TmSystem::name`](rococo_stm::TmSystem::name).
+    pub backend: &'static str,
+    /// One snapshot per shard, in shard order.
+    pub per_shard: Vec<ShardSnapshot>,
+    /// The sum of all shard snapshots.
+    pub aggregate: ShardSnapshot,
+    /// Wall-clock time the service has been (or was) running.
+    pub elapsed: Duration,
+}
+
+impl TxKvReport {
+    /// Committed requests per second over [`TxKvReport::elapsed`].
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.aggregate.committed as f64 / secs
+        }
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl fmt::Display for TxKvReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = &self.aggregate;
+        writeln!(
+            f,
+            "txkv[{}] {} shards, {:.2}s: {} committed ({:.0} req/s), {} shed, {} failed, {} retries",
+            self.backend,
+            self.per_shard.len(),
+            self.elapsed.as_secs_f64(),
+            a.committed,
+            self.throughput(),
+            a.shed,
+            a.failed,
+            a.retries,
+        )?;
+        writeln!(
+            f,
+            "  latency p50={} p99={} p999={} max={} (n={})",
+            fmt_ns(a.latency.p50_ns),
+            fmt_ns(a.latency.p99_ns),
+            fmt_ns(a.latency.p999_ns),
+            fmt_ns(a.latency.max_ns),
+            a.latency.count,
+        )?;
+        if a.total_aborts() > 0 {
+            write!(f, "  aborts:")?;
+            for (label, n) in a.abort_breakdown() {
+                write!(f, " {label}={n}")?;
+            }
+            writeln!(f)?;
+        }
+        for (i, s) in self.per_shard.iter().enumerate() {
+            writeln!(
+                f,
+                "  shard {i}: committed={} shed={} failed={} retries={} aborts={} p99={}",
+                s.committed,
+                s.shed,
+                s.failed,
+                s.retries,
+                s.total_aborts(),
+                fmt_ns(s.latency.p99_ns),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_abort_causes() {
+        let s = ShardStats::new();
+        s.record_abort(AbortKind::Conflict);
+        s.record_abort(AbortKind::Conflict);
+        s.record_abort(AbortKind::FpgaWindow);
+        let snap = s.snapshot();
+        assert_eq!(snap.total_aborts(), 3);
+        assert_eq!(
+            snap.abort_breakdown(),
+            vec![("cpu-stale-read", 2), ("fpga-window", 1)]
+        );
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = ShardSnapshot {
+            committed: 10,
+            shed: 1,
+            aborts: [1, 0, 0, 0, 0, 0],
+            ..Default::default()
+        };
+        let b = ShardSnapshot {
+            committed: 5,
+            failed: 2,
+            aborts: [0, 3, 0, 0, 0, 0],
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.committed, 15);
+        assert_eq!(a.shed, 1);
+        assert_eq!(a.failed, 2);
+        assert_eq!(a.total_aborts(), 4);
+    }
+
+    #[test]
+    fn report_renders() {
+        let mut report = TxKvReport {
+            backend: "tinystm",
+            per_shard: vec![ShardSnapshot::default()],
+            aggregate: ShardSnapshot {
+                committed: 1000,
+                aborts: [5, 0, 0, 0, 0, 0],
+                ..Default::default()
+            },
+            elapsed: Duration::from_secs(2),
+        };
+        report.aggregate.latency.p99_ns = 1_500;
+        let text = report.to_string();
+        assert!(text.contains("500 req/s"), "{text}");
+        assert!(text.contains("cpu-stale-read=5"), "{text}");
+        assert!(text.contains("1.5us"), "{text}");
+    }
+}

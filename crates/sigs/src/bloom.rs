@@ -236,7 +236,11 @@ impl Sig {
     ///
     /// Panics if the signatures have different sizes.
     pub fn union_with(&mut self, other: &Sig) {
-        assert_eq!(self.words.len(), other.words.len(), "signature size mismatch");
+        assert_eq!(
+            self.words.len(),
+            other.words.len(),
+            "signature size mismatch"
+        );
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a |= b;
         }
@@ -248,7 +252,11 @@ impl Sig {
     ///
     /// Panics if the signatures have different sizes.
     pub fn intersect(&self, other: &Sig) -> Sig {
-        assert_eq!(self.words.len(), other.words.len(), "signature size mismatch");
+        assert_eq!(
+            self.words.len(),
+            other.words.len(),
+            "signature size mismatch"
+        );
         Sig {
             words: self
                 .words
@@ -270,11 +278,12 @@ impl Sig {
     /// Panics if the signatures have different sizes.
     #[inline]
     pub fn overlaps(&self, other: &Sig) -> bool {
-        assert_eq!(self.words.len(), other.words.len(), "signature size mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        assert_eq!(
+            self.words.len(),
+            other.words.len(),
+            "signature size mismatch"
+        );
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Raw word view (for hardware-model code that shifts signatures through
@@ -286,7 +295,12 @@ impl Sig {
 
 impl fmt::Debug for Sig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Sig[{}b, {} ones]", self.words.len() * 64, self.count_ones())
+        write!(
+            f,
+            "Sig[{}b, {} ones]",
+            self.words.len() * 64,
+            self.count_ones()
+        )
     }
 }
 

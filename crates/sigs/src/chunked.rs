@@ -172,7 +172,10 @@ mod tests {
             refined <= coarse,
             "refinement may never add conflicts ({refined} > {coarse})"
         );
-        assert!(refined < 5, "refined false conflicts too frequent: {refined}");
+        assert!(
+            refined < 5,
+            "refined false conflicts too frequent: {refined}"
+        );
     }
 
     #[test]

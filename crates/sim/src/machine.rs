@@ -79,7 +79,11 @@ impl SimOutcome {
     pub fn fpga_abort_rate(&self) -> f64 {
         let total = self.commits + self.total_aborts();
         let f = self.aborts.get(&AbortKind::FpgaCycle).copied().unwrap_or(0)
-            + self.aborts.get(&AbortKind::FpgaWindow).copied().unwrap_or(0);
+            + self
+                .aborts
+                .get(&AbortKind::FpgaWindow)
+                .copied()
+                .unwrap_or(0);
         if total == 0 {
             0.0
         } else {
@@ -106,13 +110,7 @@ struct Txn {
 
 impl Txn {
     fn from_record(r: &TxnRecord) -> Self {
-        let lines = |addrs: &[u64]| {
-            addrs
-                .iter()
-                .map(|a| a >> 3)
-                .collect::<HashSet<_>>()
-                .len()
-        };
+        let lines = |addrs: &[u64]| addrs.iter().map(|a| a >> 3).collect::<HashSet<_>>().len();
         Self {
             read_set: r.reads.iter().copied().collect(),
             write_set: r.writes.iter().copied().collect(),
@@ -349,11 +347,14 @@ pub fn simulate(
                         + txn.writes.len() as f64 * cost.tiny_commit_per_write_ns;
                     let done = my_instant + commit_cost * tf;
                     if !txn.writes.is_empty() {
-                        push_commit(&mut commits, Commit {
-                            time: my_instant,
-                            writes: txn.writes.clone(),
-                            seq: u64::MAX,
-                        });
+                        push_commit(
+                            &mut commits,
+                            Commit {
+                                time: my_instant,
+                                writes: txn.writes.clone(),
+                                seq: u64::MAX,
+                            },
+                        );
                     }
                     commits_n += 1;
                     start_next!(w, done);
@@ -374,11 +375,14 @@ pub fn simulate(
                         let done = fb_start + duration(txn) + cost.tsx_commit_fixed_ns * tf;
                         fallback_free = done;
                         if !txn.writes.is_empty() {
-                            push_commit(&mut commits, Commit {
-                                time: done,
-                                writes: txn.writes.clone(),
-                                seq: u64::MAX,
-                            });
+                            push_commit(
+                                &mut commits,
+                                Commit {
+                                    time: done,
+                                    writes: txn.writes.clone(),
+                                    seq: u64::MAX,
+                                },
+                            );
                         }
                         commits_n += 1;
                         fallback_commits += 1;
@@ -423,11 +427,14 @@ pub fn simulate(
                         }
                     }
                     if !txn.writes.is_empty() {
-                        push_commit(&mut commits, Commit {
-                            time: done,
-                            writes: txn.writes.clone(),
-                            seq: u64::MAX,
-                        });
+                        push_commit(
+                            &mut commits,
+                            Commit {
+                                time: done,
+                                writes: txn.writes.clone(),
+                                seq: u64::MAX,
+                            },
+                        );
                     }
                     commits_n += 1;
                     workers[w].attempt = 0;
@@ -494,11 +501,14 @@ pub fn simulate(
                                 + txn.writes.len() as f64 * cost.rococo_commit_per_write_ns * tf;
                             last_pub = pub_time;
                             pub_count = seq + 1;
-                            push_commit(&mut commits, Commit {
-                                time: pub_time,
-                                writes: txn.writes.clone(),
-                                seq,
-                            });
+                            push_commit(
+                                &mut commits,
+                                Commit {
+                                    time: pub_time,
+                                    writes: txn.writes.clone(),
+                                    seq,
+                                },
+                            );
                             commits_n += 1;
                             start_next!(w, pub_time);
                         }
@@ -541,9 +551,7 @@ mod tests {
     }
 
     fn disjoint_workload(n: u64) -> Workload {
-        (0..n)
-            .map(|i| rw_txn(i, 100_000 + i, 1000.0))
-            .collect()
+        (0..n).map(|i| rw_txn(i, 100_000 + i, 1000.0)).collect()
     }
 
     #[test]
@@ -628,9 +636,7 @@ mod tests {
         // to one phase at high thread counts (each phase drains fully).
         let one: Workload = disjoint_workload(56);
         let mut two = Workload::default();
-        let recs: Vec<TxnRecord> = (0..56u64)
-            .map(|i| rw_txn(i, 100_000 + i, 1000.0))
-            .collect();
+        let recs: Vec<TxnRecord> = (0..56u64).map(|i| rw_txn(i, 100_000 + i, 1000.0)).collect();
         two.phases = vec![recs[..28].to_vec(), recs[28..].to_vec()];
         let m1 = simulate(&one, SimSystem::TinyStm, 56, &CostModel::default()).makespan_ns;
         let m2 = simulate(&two, SimSystem::TinyStm, 56, &CostModel::default()).makespan_ns;

@@ -56,11 +56,7 @@ impl Workload {
     /// Recorded sequential execution time: the sum of measured per-
     /// transaction times (the STAMP sequential baseline of Figure 10).
     pub fn sequential_ns(&self) -> f64 {
-        self.phases
-            .iter()
-            .flatten()
-            .map(|r| r.exec_ns)
-            .sum()
+        self.phases.iter().flatten().map(|r| r.exec_ns).sum()
     }
 
     /// Mean footprint sizes `(reads, writes)` — used by reports.

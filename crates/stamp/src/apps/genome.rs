@@ -90,7 +90,10 @@ fn window_key(genome: &[u8], pos: usize, len: usize) -> u64 {
 
 /// Runs genome on `sys` with `threads` workers.
 pub fn run<S: TmSystem>(sys: &S, threads: usize, cfg: &Config) -> AppResult {
-    assert!(cfg.seg_len >= 2 && cfg.seg_len <= 31, "seg_len out of range");
+    assert!(
+        cfg.seg_len >= 2 && cfg.seg_len <= 31,
+        "seg_len out of range"
+    );
     let heap = sys.heap();
     let genome = pack_genome(cfg);
     let n_windows = cfg.windows();

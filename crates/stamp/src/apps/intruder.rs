@@ -82,7 +82,7 @@ pub fn run<S: TmSystem>(sys: &S, threads: usize, cfg: &Config) -> AppResult {
     let mut fragments = Vec::with_capacity(cfg.total_frags());
     let mut expected_attacks = 0u64;
     for flow in 0..cfg.flows as u64 {
-        let attack = rng.gen_range(0..100) < cfg.attack_pct;
+        let attack = rng.gen_range(0u32..100) < cfg.attack_pct;
         if attack {
             expected_attacks += 1;
         }

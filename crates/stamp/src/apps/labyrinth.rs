@@ -129,42 +129,41 @@ pub fn run<S: TmSystem>(sys: &S, threads: usize, cfg: &Config) -> AppResult {
     };
 
     // BFS over transactional reads; returns the path if one exists.
-    let route_one = |tx: &mut <S as TmSystem>::Tx<'_>,
-                     route: usize|
-     -> Result<Option<Vec<usize>>, Abort> {
-        let (src, dst) = endpoints[route];
-        let me = route as u64 + 1;
-        let mut parent: HashMap<usize, usize> = HashMap::new();
-        let mut queue = VecDeque::from([src]);
-        parent.insert(src, src);
-        let mut found = false;
-        while let Some(cell) = queue.pop_front() {
-            if cell == dst {
-                found = true;
-                break;
-            }
-            for n in neighbours(cell) {
-                if parent.contains_key(&n) {
-                    continue;
+    let route_one =
+        |tx: &mut <S as TmSystem>::Tx<'_>, route: usize| -> Result<Option<Vec<usize>>, Abort> {
+            let (src, dst) = endpoints[route];
+            let me = route as u64 + 1;
+            let mut parent: HashMap<usize, usize> = HashMap::new();
+            let mut queue = VecDeque::from([src]);
+            parent.insert(src, src);
+            let mut found = false;
+            while let Some(cell) = queue.pop_front() {
+                if cell == dst {
+                    found = true;
+                    break;
                 }
-                let owner = tx.read(grid + n)?;
-                if owner == 0 || owner == me {
-                    parent.insert(n, cell);
-                    queue.push_back(n);
+                for n in neighbours(cell) {
+                    if parent.contains_key(&n) {
+                        continue;
+                    }
+                    let owner = tx.read(grid + n)?;
+                    if owner == 0 || owner == me {
+                        parent.insert(n, cell);
+                        queue.push_back(n);
+                    }
                 }
             }
-        }
-        if !found {
-            return Ok(None);
-        }
-        let mut path = vec![dst];
-        let mut cur = dst;
-        while cur != src {
-            cur = parent[&cur];
-            path.push(cur);
-        }
-        Ok(Some(path))
-    };
+            if !found {
+                return Ok(None);
+            }
+            let mut path = vec![dst];
+            let mut cur = dst;
+            while cur != src {
+                cur = parent[&cur];
+                path.push(cur);
+            }
+            Ok(Some(path))
+        };
 
     let parallel = parallel_phase(sys, threads, |t| {
         loop {

@@ -72,7 +72,9 @@ const N0: usize = 2;
 const REC: usize = 5;
 
 fn is_bad_hash(id: u64) -> bool {
-    id.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17).is_multiple_of(3)
+    id.wrapping_mul(0x9e3779b97f4a7c15)
+        .rotate_left(17)
+        .is_multiple_of(3)
 }
 
 /// Runs yada on `sys` with `threads` workers.
@@ -100,7 +102,11 @@ pub fn run<S: TmSystem>(sys: &S, threads: usize, cfg: &Config) -> AppResult {
         let bad = u64::from(i % cfg.bad_one_in as u64 == 0);
         heap.store_direct(r + FLAGS, bad); // generation 0
         let left = if i == 0 { 0 } else { i }; // id-1 + 1
-        let right = if i + 1 == cfg.initial as u64 { 0 } else { i + 2 };
+        let right = if i + 1 == cfg.initial as u64 {
+            0
+        } else {
+            i + 2
+        };
         heap.store_direct(r + N0, left);
         heap.store_direct(r + N0 + 1, right);
         heap.store_direct(r + N0 + 2, 0);
@@ -203,10 +209,9 @@ pub fn run<S: TmSystem>(sys: &S, threads: usize, cfg: &Config) -> AppResult {
                     }
                 }
             }
-            if bad
-                && work.push(tx, nid, nid)? {
-                    new_bad += 1;
-                }
+            if bad && work.push(tx, nid, nid)? {
+                new_bad += 1;
+            }
         }
         tm_fetch_add(tx, created + t, n_new)?;
         // pending += new_bad - 1 (this item done).
@@ -214,13 +219,11 @@ pub fn run<S: TmSystem>(sys: &S, threads: usize, cfg: &Config) -> AppResult {
         Ok(1)
     };
 
-    let parallel = parallel_phase(sys, threads, |t| {
-        loop {
-            match atomically(sys, t, |tx| refine(tx, t)) {
-                0 => break,
-                1 => {}
-                _ => std::thread::yield_now(),
-            }
+    let parallel = parallel_phase(sys, threads, |t| loop {
+        match atomically(sys, t, |tx| refine(tx, t)) {
+            0 => break,
+            1 => {}
+            _ => std::thread::yield_now(),
         }
     });
 
@@ -244,11 +247,11 @@ pub fn run<S: TmSystem>(sys: &S, threads: usize, cfg: &Config) -> AppResult {
     }
     let created_v: u64 = (0..threads).map(|t| heap.load_direct(created + t)).sum();
     let killed_v: u64 = (0..threads).map(|t| heap.load_direct(killed + t)).sum();
-    let pending_v: u64 = (0..threads)
-        .fold(0u64, |acc, t| acc.wrapping_add(heap.load_direct(pending + t)));
-    let validated = alive_count == cfg.initial as u64 + created_v - killed_v
-        && bad_left == 0
-        && pending_v == 0;
+    let pending_v: u64 = (0..threads).fold(0u64, |acc, t| {
+        acc.wrapping_add(heap.load_direct(pending + t))
+    });
+    let validated =
+        alive_count == cfg.initial as u64 + created_v - killed_v && bad_left == 0 && pending_v == 0;
     AppResult {
         validated,
         checksum: created_v.wrapping_mul(31).wrapping_add(killed_v),

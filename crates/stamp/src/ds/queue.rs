@@ -129,8 +129,7 @@ mod tests {
             joins.push(std::thread::spawn(move || {
                 for i in 0..produced_per_thread {
                     loop {
-                        let ok =
-                            atomically(&*tm, t as usize, |tx| q.push(tx, t * 1_000 + i));
+                        let ok = atomically(&*tm, t as usize, |tx| q.push(tx, t * 1_000 + i));
                         if ok {
                             break;
                         }

@@ -187,9 +187,7 @@ where
     }
     std::thread::scope(|s| {
         let f = &f;
-        let handles: Vec<_> = (0..threads)
-            .map(|t| s.spawn(move || f(t)))
-            .collect();
+        let handles: Vec<_> = (0..threads).map(|t| s.spawn(move || f(t))).collect();
         for h in handles {
             h.join().expect("worker thread panicked");
         }

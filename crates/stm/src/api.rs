@@ -25,6 +25,45 @@ pub enum AbortKind {
     Explicit,
 }
 
+impl AbortKind {
+    /// Every abort kind, in the order the per-reason counters are laid
+    /// out. Service layers iterate this to build abort-cause breakdowns
+    /// without hard-coding the variant list.
+    pub const ALL: [AbortKind; 6] = [
+        AbortKind::Conflict,
+        AbortKind::FpgaCycle,
+        AbortKind::FpgaWindow,
+        AbortKind::Capacity,
+        AbortKind::FallbackLock,
+        AbortKind::Explicit,
+    ];
+
+    /// The position of this kind within [`AbortKind::ALL`] (stable index
+    /// for dense per-cause counter arrays).
+    pub fn index(self) -> usize {
+        match self {
+            AbortKind::Conflict => 0,
+            AbortKind::FpgaCycle => 1,
+            AbortKind::FpgaWindow => 2,
+            AbortKind::Capacity => 3,
+            AbortKind::FallbackLock => 4,
+            AbortKind::Explicit => 5,
+        }
+    }
+
+    /// Short human-readable label (used in service reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortKind::Conflict => "cpu-stale-read",
+            AbortKind::FpgaCycle => "fpga-cycle",
+            AbortKind::FpgaWindow => "fpga-window",
+            AbortKind::Capacity => "htm-capacity",
+            AbortKind::FallbackLock => "htm-fallback-lock",
+            AbortKind::Explicit => "explicit-retry",
+        }
+    }
+}
+
 /// A transaction abort. Returned by [`Transaction`] operations; propagate
 /// it with `?` so [`atomically`] can retry the closure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -246,12 +285,30 @@ impl TmStats {
             starts: self.starts.load(Ordering::Relaxed),
             commits: self.commits.load(Ordering::Relaxed),
             aborts: HashMap::from([
-                (AbortKind::Conflict, self.aborts_conflict.load(Ordering::Relaxed)),
-                (AbortKind::FpgaCycle, self.aborts_fpga_cycle.load(Ordering::Relaxed)),
-                (AbortKind::FpgaWindow, self.aborts_fpga_window.load(Ordering::Relaxed)),
-                (AbortKind::Capacity, self.aborts_capacity.load(Ordering::Relaxed)),
-                (AbortKind::FallbackLock, self.aborts_fallback.load(Ordering::Relaxed)),
-                (AbortKind::Explicit, self.aborts_explicit.load(Ordering::Relaxed)),
+                (
+                    AbortKind::Conflict,
+                    self.aborts_conflict.load(Ordering::Relaxed),
+                ),
+                (
+                    AbortKind::FpgaCycle,
+                    self.aborts_fpga_cycle.load(Ordering::Relaxed),
+                ),
+                (
+                    AbortKind::FpgaWindow,
+                    self.aborts_fpga_window.load(Ordering::Relaxed),
+                ),
+                (
+                    AbortKind::Capacity,
+                    self.aborts_capacity.load(Ordering::Relaxed),
+                ),
+                (
+                    AbortKind::FallbackLock,
+                    self.aborts_fallback.load(Ordering::Relaxed),
+                ),
+                (
+                    AbortKind::Explicit,
+                    self.aborts_explicit.load(Ordering::Relaxed),
+                ),
             ]),
             fallback_commits: self.fallback_commits.load(Ordering::Relaxed),
             read_only_commits: self.read_only_commits.load(Ordering::Relaxed),
@@ -304,7 +361,11 @@ impl StatsSnapshot {
     /// Aborts attributed to the FPGA (the dotted series of Figure 10).
     pub fn fpga_aborts(&self) -> u64 {
         self.aborts.get(&AbortKind::FpgaCycle).copied().unwrap_or(0)
-            + self.aborts.get(&AbortKind::FpgaWindow).copied().unwrap_or(0)
+            + self
+                .aborts
+                .get(&AbortKind::FpgaWindow)
+                .copied()
+                .unwrap_or(0)
     }
 
     /// FPGA-attributed abort rate.

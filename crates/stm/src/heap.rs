@@ -139,10 +139,7 @@ mod tests {
                 (0..100).map(|_| h.alloc(10)).collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<usize> = joins
-            .into_iter()
-            .flat_map(|j| j.join().unwrap())
-            .collect();
+        let mut all: Vec<usize> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 800, "allocations must be disjoint");

@@ -108,7 +108,9 @@ impl TsxHtm {
                     writer: AtomicU64::new(0),
                 })
                 .collect(),
-            doomed: (0..config.max_threads).map(|_| AtomicBool::new(false)).collect(),
+            doomed: (0..config.max_threads)
+                .map(|_| AtomicBool::new(false))
+                .collect(),
             committing: (0..config.max_threads)
                 .map(|_| AtomicBool::new(false))
                 .collect(),
@@ -156,7 +158,9 @@ impl HtmTx<'_> {
     fn release_claims(&self) {
         let self_bit = 1u64 << self.thread;
         for &l in &self.read_lines {
-            self.tm.lines[l].readers.fetch_and(!self_bit, Ordering::SeqCst);
+            self.tm.lines[l]
+                .readers
+                .fetch_and(!self_bit, Ordering::SeqCst);
         }
         let self_id = self.thread as u64 + 1;
         for &l in &self.write_lines {
@@ -258,7 +262,9 @@ impl Transaction for HtmTx<'_> {
             if self.read_lines.len() > self.tm.config.read_capacity {
                 return Err(self.hw_abort(AbortKind::Capacity));
             }
-            entry.readers.fetch_or(1u64 << self.thread, Ordering::SeqCst);
+            entry
+                .readers
+                .fetch_or(1u64 << self.thread, Ordering::SeqCst);
         }
         loop {
             let w = entry.writer.load(Ordering::SeqCst);
@@ -305,7 +311,10 @@ impl Transaction for HtmTx<'_> {
                 }
                 self.tm.attempts[self.thread].store(0, Ordering::SeqCst);
                 self.tm.fallback_active.store(false, Ordering::SeqCst);
-                self.tm.stats.fallback_commits.fetch_add(1, Ordering::Relaxed);
+                self.tm
+                    .stats
+                    .fallback_commits
+                    .fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
             TxMode::Hw => {
@@ -327,7 +336,10 @@ impl Transaction for HtmTx<'_> {
                 self.tm.doomed[self.thread].store(false, Ordering::SeqCst);
                 self.tm.attempts[self.thread].store(0, Ordering::SeqCst);
                 if self.redo.is_empty() {
-                    self.tm.stats.read_only_commits.fetch_add(1, Ordering::Relaxed);
+                    self.tm
+                        .stats
+                        .read_only_commits
+                        .fetch_add(1, Ordering::Relaxed);
                 }
                 Ok(())
             }
@@ -373,11 +385,7 @@ impl TmSystem for TsxHtm {
                 d.store(true, Ordering::SeqCst);
             }
             self.doomed[thread_id].store(false, Ordering::SeqCst);
-            while self
-                .committing
-                .iter()
-                .any(|c| c.load(Ordering::SeqCst))
-            {
+            while self.committing.iter().any(|c| c.load(Ordering::SeqCst)) {
                 std::hint::spin_loop();
             }
             TxMode::Fallback(guard)

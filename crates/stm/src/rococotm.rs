@@ -169,6 +169,13 @@ impl RococoTm {
         self.handle.stats()
     }
 
+    /// A cloneable handle onto the shared validation engine. Service
+    /// layers use it to watch validator backlog (admission control) and to
+    /// read engine statistics without going through the runtime.
+    pub fn service_handle(&self) -> ServiceHandle {
+        self.handle.clone()
+    }
+
     /// Whether `addr` is currently claimed by a committing transaction's
     /// update-set entry (commit-time locking, Algorithm 1 line 5).
     fn update_set_hits(&self, addr: Addr) -> bool {
@@ -364,9 +371,10 @@ impl Transaction for RococoTx<'_> {
         let verdict = tm.handle.validate(req);
         let wall_ns = t0.elapsed().as_nanos() as u64;
         tm.stats.validation_ns.fetch_add(wall_ns, Ordering::Relaxed);
-        tm.stats
-            .validation_model_ns
-            .fetch_add(tm.config.timing.latency_ns(n_addrs) as u64, Ordering::Relaxed);
+        tm.stats.validation_model_ns.fetch_add(
+            tm.config.timing.latency_ns(n_addrs) as u64,
+            Ordering::Relaxed,
+        );
         tm.stats.validations.fetch_add(1, Ordering::Relaxed);
 
         let seq = match verdict {
@@ -382,9 +390,17 @@ impl Transaction for RococoTx<'_> {
         // Wait for our turn in commit order. Every sequence before ours was
         // granted to some committer that will publish it; write-backs are
         // thereby ordered, which subsumes the paper's write-write commit
-        // ordering.
+        // ordering. Spin briefly, then yield: the committer we are waiting
+        // on may not be running (oversubscribed or single-core hosts), and
+        // a full timeslice of spinning would stall the whole commit chain.
+        let mut spins = 0u32;
         while tm.global_ts.load(Ordering::SeqCst) != seq {
-            std::hint::spin_loop();
+            spins += 1;
+            if spins > 128 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
         }
 
         // Publish the update-set entry (commit-time locking), write back,
@@ -400,8 +416,7 @@ impl Transaction for RococoTx<'_> {
         }
 
         {
-            let mut qslot =
-                tm.commit_queue[(seq % tm.config.queue_len as u64) as usize].write();
+            let mut qslot = tm.commit_queue[(seq % tm.config.queue_len as u64) as usize].write();
             *qslot = self.write_sig.clone();
         }
         tm.global_ts.store(seq + 1, Ordering::SeqCst);
@@ -605,8 +620,11 @@ mod tests {
     #[test]
     fn irrevocability_guarantees_progress() {
         // A tiny window plus a busy writer starves a long transaction via
-        // window-overflow aborts; after `irrevocable_after` failures it
-        // must take the gate and commit.
+        // window-overflow aborts. With `irrevocable_after: 1`, the very
+        // next attempt after any abort must take the gate exclusively and
+        // commit irrevocably — so any abort at all implies at least one
+        // fallback commit, independent of how the scheduler interleaves
+        // the two threads.
         let tm = Arc::new(RococoTm::with_configs(RococoConfig {
             tm: TmConfig {
                 heap_words: 4096,
@@ -614,7 +632,7 @@ mod tests {
             },
             window: 4,
             queue_len: 16,
-            irrevocable_after: 2,
+            irrevocable_after: 1,
             ..RococoConfig::default()
         }));
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));

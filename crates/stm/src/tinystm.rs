@@ -130,7 +130,10 @@ impl Transaction for TinyTx<'_> {
 
     fn commit(self) -> Result<(), Abort> {
         if self.redo.is_empty() {
-            self.tm.stats.read_only_commits.fetch_add(1, Ordering::Relaxed);
+            self.tm
+                .stats
+                .read_only_commits
+                .fetch_add(1, Ordering::Relaxed);
             return Ok(());
         }
 

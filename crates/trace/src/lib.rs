@@ -393,19 +393,34 @@ mod tests {
     #[test]
     fn read_write_sets() {
         let t = TxnTrace {
-            ops: vec![Op::Read(1), Op::Write(2), Op::Read(1), Op::Write(2), Op::Read(3)],
+            ops: vec![
+                Op::Read(1),
+                Op::Write(2),
+                Op::Read(1),
+                Op::Write(2),
+                Op::Read(3),
+            ],
         };
         assert_eq!(t.read_set(), vec![1, 3]);
         assert_eq!(t.write_set(), vec![2]);
         assert!(!t.is_read_only());
-        assert!(TxnTrace { ops: vec![Op::Read(9)] }.is_read_only());
+        assert!(TxnTrace {
+            ops: vec![Op::Read(9)]
+        }
+        .is_read_only());
     }
 
     #[test]
     fn collides_requires_a_write() {
-        let r = TxnTrace { ops: vec![Op::Read(5)] };
-        let r2 = TxnTrace { ops: vec![Op::Read(5)] };
-        let w = TxnTrace { ops: vec![Op::Write(5)] };
+        let r = TxnTrace {
+            ops: vec![Op::Read(5)],
+        };
+        let r2 = TxnTrace {
+            ops: vec![Op::Read(5)],
+        };
+        let w = TxnTrace {
+            ops: vec![Op::Write(5)],
+        };
         assert!(!r.collides_with(&r2), "read-read is not a collision");
         assert!(r.collides_with(&w));
         assert!(w.collides_with(&r));

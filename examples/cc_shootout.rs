@@ -39,7 +39,10 @@ fn main() {
     ];
 
     println!();
-    println!("  {:<8} {:>9} {:>9} {:>12}", "policy", "commits", "aborts", "abort rate");
+    println!(
+        "  {:<8} {:>9} {:>9} {:>12}",
+        "policy", "commits", "aborts", "abort rate"
+    );
     for p in policies.iter_mut() {
         let r = run_policy(p.as_mut(), &trace, concurrency);
         // Every committed history must be serializable — check it.

@@ -20,6 +20,7 @@
 //! | [`stm`] | `rococo-stm` | live TM runtimes: ROCoCoTM, TinySTM-style LSA, TSX-style HTM, references (§5) |
 //! | [`stamp`] | `rococo-stamp` | the STAMP port and run harness (Fig. 10) |
 //! | [`sim`] | `rococo-sim` | virtual-time multicore simulator for speedup studies on small hosts |
+//! | [`server`] | `rococo-server` | TxKV: sharded transactional KV service with admission control, bounded retry, and latency/abort observability |
 //!
 //! # Quickstart
 //!
@@ -42,6 +43,7 @@
 pub use rococo_cc as cc;
 pub use rococo_core as core;
 pub use rococo_fpga as fpga;
+pub use rococo_server as server;
 pub use rococo_sigs as sigs;
 pub use rococo_sim as sim;
 pub use rococo_stamp as stamp;

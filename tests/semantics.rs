@@ -4,8 +4,7 @@
 use proptest::prelude::*;
 use rococo::cc::{run_policy, CcPolicy, Rococo, Tocc, TwoPhaseLocking};
 use rococo::core::order::{
-    is_two_plus_two_free, phantom_orderings, realtime_order, rw_graph, DiGraph, Footprint,
-    Interval,
+    is_two_plus_two_free, phantom_orderings, realtime_order, rw_graph, DiGraph, Footprint, Interval,
 };
 use rococo::trace::{eigen_trace, zipf_trace, EigenConfig, ZipfConfig};
 

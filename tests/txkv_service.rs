@@ -1,0 +1,220 @@
+//! End-to-end tests of the TxKV service: the serializability oracle
+//! (balance conservation and consistent snapshots under concurrent
+//! transfers) on every backend, and overload behaviour (typed shedding,
+//! service stays live).
+
+use rococo::server::{Request, Response, TxKv, TxKvConfig, TxKvError};
+use rococo::stm::{RococoTm, TinyStm, TmConfig, TmSystem, TsxHtm};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const ACCOUNTS: u64 = 48;
+const OPENING_BALANCE: u64 = 1_000;
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Runs concurrent random transfers while a reader thread takes snapshot
+/// multi-gets of the whole bank; every snapshot must show the conserved
+/// total, and so must the final state.
+fn bank_oracle<S: TmSystem + 'static>(system: Arc<S>, transfers_per_client: u64) {
+    let cfg = TxKvConfig {
+        shards: 4,
+        workers_per_shard: 1,
+        keys: ACCOUNTS,
+        ..TxKvConfig::default()
+    };
+    let backend = Arc::clone(&system);
+    let kv = TxKv::start(system, cfg).expect("service start");
+    let table = kv.table();
+    for k in 0..ACCOUNTS {
+        backend
+            .heap()
+            .store_direct(table + k as usize, OPENING_BALANCE);
+    }
+    let expected_total = ACCOUNTS * OPENING_BALANCE;
+    let moved = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for client in 0..3u64 {
+            let kv = &kv;
+            let moved = &moved;
+            s.spawn(move || {
+                let mut rng = 0xBADC0DE + client;
+                for _ in 0..transfers_per_client {
+                    let from = xorshift(&mut rng) % ACCOUNTS;
+                    let to = xorshift(&mut rng) % ACCOUNTS;
+                    let amount = xorshift(&mut rng) % 200 + 1;
+                    loop {
+                        match kv.call(Request::Transfer { from, to, amount }) {
+                            Ok(Response::Transferred(done)) => {
+                                if done && from != to {
+                                    moved.fetch_add(amount, Ordering::Relaxed);
+                                }
+                                break;
+                            }
+                            Ok(other) => panic!("unexpected response {other:?}"),
+                            Err(TxKvError::Overloaded { .. }) => {
+                                std::thread::yield_now();
+                            }
+                            Err(e) => panic!("transfer failed: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+        // Concurrent snapshot reader: every MultiGet must observe a state
+        // in which money is conserved — the transactional snapshot
+        // guarantee. A torn view (half of a transfer) would break the sum.
+        let kv = &kv;
+        s.spawn(move || {
+            let all: Vec<u64> = (0..ACCOUNTS).collect();
+            for _ in 0..60 {
+                match kv.call(Request::MultiGet { keys: all.clone() }) {
+                    Ok(Response::Values(vals)) => {
+                        let total: u64 = vals.iter().sum();
+                        assert_eq!(
+                            total, expected_total,
+                            "snapshot saw a non-serializable state"
+                        );
+                    }
+                    Ok(other) => panic!("unexpected response {other:?}"),
+                    Err(TxKvError::Overloaded { .. }) => std::thread::yield_now(),
+                    Err(e) => panic!("snapshot failed: {e}"),
+                }
+            }
+        });
+    });
+
+    let report = kv.shutdown();
+    assert_eq!(report.aggregate.failed, 0, "no request may exhaust retries");
+
+    // Final state: still conserved, and some money actually moved.
+    let final_total: u64 = (0..ACCOUNTS)
+        .map(|k| backend.heap().load_direct(table + k as usize))
+        .sum();
+    assert_eq!(final_total, expected_total, "final balances not conserved");
+    assert!(moved.load(Ordering::Relaxed) > 0, "no transfer succeeded");
+}
+
+fn tm_config(cfg: &TxKvConfig) -> TmConfig {
+    TmConfig {
+        heap_words: cfg.heap_words(),
+        max_threads: cfg.worker_threads(),
+    }
+}
+
+#[test]
+fn bank_oracle_tinystm() {
+    let cfg = TxKvConfig {
+        shards: 4,
+        workers_per_shard: 1,
+        keys: ACCOUNTS,
+        ..TxKvConfig::default()
+    };
+    bank_oracle(Arc::new(TinyStm::with_config(tm_config(&cfg))), 2_000);
+}
+
+#[test]
+fn bank_oracle_tsx_htm() {
+    let cfg = TxKvConfig {
+        shards: 4,
+        workers_per_shard: 1,
+        keys: ACCOUNTS,
+        ..TxKvConfig::default()
+    };
+    bank_oracle(Arc::new(TsxHtm::with_config(tm_config(&cfg))), 1_000);
+}
+
+#[test]
+fn bank_oracle_rococotm() {
+    let cfg = TxKvConfig {
+        shards: 4,
+        workers_per_shard: 1,
+        keys: ACCOUNTS,
+        ..TxKvConfig::default()
+    };
+    bank_oracle(Arc::new(RococoTm::with_config(tm_config(&cfg))), 1_000);
+}
+
+#[test]
+fn overload_sheds_typed_error_and_service_stays_live() {
+    let cfg = TxKvConfig {
+        shards: 1,
+        workers_per_shard: 1,
+        queue_capacity: 2,
+        keys: 16,
+        ..TxKvConfig::default()
+    };
+    let tm = Arc::new(TinyStm::with_config(tm_config(&cfg)));
+    let kv = TxKv::start(tm, cfg).expect("service start");
+
+    // Fire-and-forget submissions far faster than one worker can execute
+    // transactions: the 2-slot queue must overflow and shed.
+    let mut pending = Vec::new();
+    let mut sheds = 0u64;
+    for i in 0..5_000u64 {
+        match kv.submit(Request::Add {
+            key: i % 16,
+            delta: 1,
+        }) {
+            Ok(reply) => pending.push(reply),
+            Err(TxKvError::Overloaded { shard }) => {
+                assert_eq!(shard, 0);
+                sheds += 1;
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert!(sheds > 0, "queue of 2 never overflowed under a 5k burst");
+
+    // Every admitted request still completes: no hangs, no lost replies.
+    for reply in pending {
+        reply.wait().expect("admitted request must be answered");
+    }
+
+    // The service recovered: normal traffic flows and the report shows
+    // the sheds.
+    assert_eq!(
+        kv.call(Request::Get { key: 3 }).map(|_| ()),
+        Ok(()),
+        "service dead after overload"
+    );
+    let report = kv.shutdown();
+    assert_eq!(report.aggregate.shed, sheds);
+    assert_eq!(report.aggregate.failed, 0);
+    assert_eq!(report.aggregate.committed, report.aggregate.enqueued);
+}
+
+#[test]
+fn shutdown_answers_queued_requests() {
+    let cfg = TxKvConfig {
+        shards: 2,
+        workers_per_shard: 1,
+        keys: 8,
+        ..TxKvConfig::default()
+    };
+    let tm = Arc::new(TinyStm::with_config(tm_config(&cfg)));
+    let kv = TxKv::start(tm, cfg).expect("service start");
+    let pending: Vec<_> = (0..64u64)
+        .filter_map(|i| {
+            kv.submit(Request::Add {
+                key: i % 8,
+                delta: 1,
+            })
+            .ok()
+        })
+        .collect();
+    let admitted = pending.len() as u64;
+    let report = kv.shutdown();
+    assert_eq!(report.aggregate.committed, admitted);
+    for reply in pending {
+        assert!(reply.wait().is_ok(), "queued request dropped at shutdown");
+    }
+}

@@ -1,0 +1,196 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Supports `criterion_group!` / `criterion_main!`, `Criterion::
+//! bench_function`, `benchmark_group` + `bench_with_input`, `BenchmarkId`
+//! and `black_box`. Each benchmark is calibrated to a ~60 ms batch, run
+//! three times, and the best batch's mean ns/iteration is printed. No
+//! statistics, plots, or baselines — enough to compare hot paths locally.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque-to-the-optimiser identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints its timing.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A related set of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `f` with `input`, labelled by `id`, and prints its timing.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Runs `f` as a plain named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Measures closures passed to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Best observed mean nanoseconds per iteration.
+    best_ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, calibrating the iteration count to a ~60 ms batch.
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        // Calibrate: grow the batch until it takes at least ~6 ms.
+        let mut batch = 1u64;
+        let batch_ns = loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t0.elapsed().as_nanos() as u64;
+            if ns >= 6_000_000 || batch >= 1 << 30 {
+                break ns.max(1);
+            }
+            batch *= 2;
+        };
+        // Scale to ~60 ms and take the best of three batches.
+        let iters = (batch as u128 * 60_000_000 / batch_ns as u128).clamp(1, 1 << 32) as u64;
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let per_iter = t0.elapsed().as_nanos() as f64 / iters as f64;
+            if per_iter < best {
+                best = per_iter;
+            }
+        }
+        self.best_ns_per_iter = Some(best);
+    }
+}
+
+fn run_one<F>(label: &str, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher::default();
+    let t0 = Instant::now();
+    f(&mut b);
+    match b.best_ns_per_iter {
+        Some(ns) => println!("{label:<40} {:>12.1} ns/iter", ns),
+        None => println!(
+            "{label:<40} {:>12.1} ms total (no iter() call)",
+            t0.elapsed().as_secs_f64() * 1e3
+        ),
+    }
+}
+
+/// Groups benchmark functions under one entry function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+/// Re-exported for code that spells out the measurement type.
+pub type WallTime = Duration;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.best_ns_per_iter.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("process", 64).label, "process/64");
+        assert_eq!(BenchmarkId::from_parameter(8).label, "8");
+    }
+}

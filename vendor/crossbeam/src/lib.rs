@@ -1,0 +1,11 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module is provided — multi-producer multi-consumer
+//! bounded/unbounded channels built on `Mutex` + `Condvar`. The API mirrors
+//! `crossbeam-channel` for the operations this repository uses: `send`,
+//! `try_send`, `recv`, `try_recv`, `recv_timeout`, `len`, and disconnect
+//! semantics (senders fail once every receiver is gone and vice versa).
+
+#![forbid(unsafe_code)]
+
+pub mod channel;

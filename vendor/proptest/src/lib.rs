@@ -1,0 +1,426 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Implements the slice of proptest this repository's property tests use:
+//! the [`proptest!`] macro, [`Strategy`] with `prop_map`, range and tuple
+//! strategies, `prop::collection::vec`, `prop::option::of`,
+//! [`prop_oneof!`], `prop_assert!`/`prop_assert_eq!`, and
+//! [`ProptestConfig::with_cases`]. Each test runs a fixed number of
+//! deterministic random cases (seeded from the test name), with the case
+//! inputs printed on panic. There is **no shrinking** — a failing case
+//! reports its inputs as generated.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SampleRange, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// The deterministic RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds a generator from the test name: every run of a given test
+    /// explores the same case sequence.
+    pub fn for_test(name: &str) -> Self {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        Self(StdRng::seed_from_u64(h.finish() ^ 0x5eed_cafe_f00d_0001))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of random values of an associated type.
+///
+/// Unlike real proptest there is no value tree or shrinking: a strategy is
+/// just a sampler.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy generating one fixed (cloned) value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_inclusive_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize, f64, f32);
+impl_inclusive_range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// A type-erased sampling function, as produced by [`boxed_sampler`].
+pub type BoxedSampler<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// A uniform choice between boxed alternatives (see [`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<BoxedSampler<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union over the given samplers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedSampler<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let i = (0..self.arms.len()).sample_single(rng);
+        (self.arms[i])(rng)
+    }
+}
+
+/// Erases a strategy into a boxed sampler (used by [`prop_oneof!`]).
+pub fn boxed_sampler<S>(s: S) -> BoxedSampler<S::Value>
+where
+    S: Strategy + 'static,
+{
+    Box::new(move |rng| s.sample(rng))
+}
+
+/// `prop::collection` / `prop::option` namespaces, mirroring proptest's.
+pub mod prop {
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::{Strategy, TestRng};
+        use rand::SampleRange;
+        use std::ops::Range;
+
+        /// A strategy for `Vec`s with length drawn from `size` and
+        /// elements from `element`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Generates vectors whose length is uniform in `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = if self.size.start >= self.size.end {
+                    self.size.start
+                } else {
+                    self.size.clone().sample_single(rng)
+                };
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    pub mod option {
+        //! `Option` strategies.
+
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// A strategy producing `Some(inner)` three times out of four.
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// Generates `Some` with probability 0.75, `None` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.gen_bool(0.75) {
+                    Some(self.inner.sample(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::{
+        boxed_sampler, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestRng, Union,
+    };
+    pub use rand::Rng;
+}
+
+/// Asserts a condition inside a property test (panics on failure; this
+/// shim has no failure-persistence machinery to feed `Err` into).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed_sampler($arm)),+])
+    };
+}
+
+/// The test-harness macro: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases. On
+/// panic, the offending case's inputs are printed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cfg.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let printable = format!(
+                    concat!("case {}: ", $(stringify!($arg), " = {:?}, ",)+),
+                    case, $(&$arg),+
+                );
+                let guard = $crate::CasePrinter::new(printable);
+                $body
+                guard.disarm();
+            }
+        }
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Prints the current case's inputs if the test body panics.
+pub struct CasePrinter {
+    description: String,
+    armed: bool,
+}
+
+impl CasePrinter {
+    /// Arms a printer for one case.
+    pub fn new(description: String) -> Self {
+        Self {
+            description,
+            armed: true,
+        }
+    }
+
+    /// Disarms the printer (the case passed).
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CasePrinter {
+    fn drop(&mut self) {
+        if self.armed {
+            eprintln!("proptest failure in {}", self.description);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u64, u64)> {
+        (0u64..10, 10u64..20)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..15, y in 0.5f64..1.5) {
+            prop_assert!((5..15).contains(&x));
+            prop_assert!((0.5..1.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(v in prop::collection::vec((0u64..4, 1u64..3), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            for (a, b) in v {
+                prop_assert!(a < 4 && (1..3).contains(&b));
+            }
+        }
+
+        #[test]
+        fn mapped_and_union(choice in prop_oneof![
+            (0u64..5).prop_map(|v| (false, v)),
+            (5u64..10).prop_map(|v| (true, v)),
+        ]) {
+            let (hi, v) = choice;
+            prop_assert_eq!(hi, v >= 5);
+        }
+
+        #[test]
+        fn option_and_named_strategy(o in prop::option::of(pair()), trailing in 0usize..3,) {
+            if let Some((a, b)) = o {
+                prop_assert!(a < 10 && b >= 10);
+            }
+            prop_assert!(trailing < 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = TestRng::for_test("x");
+        let mut r2 = TestRng::for_test("x");
+        let s = 0u64..1000;
+        let a: Vec<u64> = (0..16).map(|_| s.sample(&mut r1)).collect();
+        let b: Vec<u64> = (0..16).map(|_| s.sample(&mut r2)).collect();
+        assert_eq!(a, b);
+    }
+}

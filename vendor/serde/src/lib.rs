@@ -1,0 +1,16 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The repository's `#[derive(Serialize, Deserialize)]` annotations are
+//! declarative (no code path serialises anything), so this shim provides
+//! the two names in both namespaces: marker traits, and no-op derive
+//! macros re-exported from the vendored `serde_derive`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

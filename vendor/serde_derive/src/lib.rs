@@ -1,0 +1,21 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! The repository annotates config/result types with
+//! `#[derive(Serialize, Deserialize)]` so experiment inputs *can* be pinned,
+//! but no code path actually serialises them (there is no serde_json or
+//! similar in the tree). These derives therefore expand to nothing: the
+//! attribute stays valid, no impls are generated, and nothing can call them.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
