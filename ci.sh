@@ -1,8 +1,24 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, build, and the full test suite.
 # Run before every push. Works fully offline (all deps are vendored).
+#
+#   ./ci.sh            # the standard gate
+#   ./ci.sh --stress   # + the pinned chaos tier (deterministic seed matrix
+#                      #   over every TM backend, fault-injected ROCoCoTM
+#                      #   included; prints reproducer commands on failure)
+#
+# The nightly job sets CHAOS_EXTENDED=1, which widens the stress tier to
+# the full seed sweep and the hostile commit-queue geometries.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+STRESS=0
+for arg in "$@"; do
+  case "$arg" in
+    --stress) STRESS=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
@@ -16,5 +32,10 @@ cargo test -q
 
 echo "== workspace tests"
 cargo test --workspace -q
+
+if [[ "$STRESS" == "1" || "${CHAOS_EXTENDED:-0}" == "1" ]]; then
+  echo "== chaos stress tier (pinned seeds; CHAOS_EXTENDED=1 for the nightly sweep)"
+  cargo run --release -q -p rococo-chaos --bin chaos -- --pinned --quiet
+fi
 
 echo "CI OK"

@@ -1,0 +1,110 @@
+//! Chaos-harness sweep: abort behaviour of every TM backend under the
+//! serializability oracle, across fault presets and commit-queue
+//! geometries. Complements the figure binaries: instead of throughput,
+//! this reports the *safety margin* — abort rates, failure streaks
+//! against the irrevocability bound, and injected-fault counts — and
+//! fails loudly (with a reproducer command) if any run violates an
+//! oracle.
+//!
+//! ```text
+//! cargo run --release -p rococo-bench --bin chaos_sweep            # default matrix
+//! cargo run --release -p rococo-bench --bin chaos_sweep -- --quick # 1 seed, fewer ops
+//! ```
+
+use rococo_bench::{banner, pct, Table};
+use rococo_chaos::{reproducer_command, sweep, BackendKind, ChaosParams};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 7, 42] };
+    let ops = if quick { 150 } else { 400 };
+
+    let mut failures: Vec<ChaosParams> = Vec::new();
+
+    banner("Chaos sweep: backends x fault presets (queue_len 8)");
+    let base = ChaosParams {
+        threads: 4,
+        ops_per_thread: ops,
+        accounts: 16,
+        queue_len: 8,
+        window: 8,
+        update_spin: 512,
+        irrevocable_after: 8,
+        ..ChaosParams::default()
+    };
+    let mut table = Table::new([
+        "backend", "faults", "seed", "commits", "aborts", "abort%", "streak", "injected", "oracle",
+    ]);
+    for r in sweep(&base, &seeds, &BackendKind::ALL) {
+        let attempts = r.commits + r.aborts;
+        table.row([
+            r.params.backend.name().to_string(),
+            r.params.faults.name().to_string(),
+            r.params.seed.to_string(),
+            r.commits.to_string(),
+            r.aborts.to_string(),
+            pct(r.aborts as f64 / attempts.max(1) as f64),
+            r.max_failed_streak.to_string(),
+            r.injected
+                .map_or_else(|| "-".into(), |f| f.total().to_string()),
+            if r.ok() {
+                "OK".into()
+            } else {
+                "FAIL".to_string()
+            },
+        ]);
+        if !r.ok() {
+            failures.push(r.params);
+        }
+    }
+    table.print();
+
+    banner("Chaos sweep: ROCoCoTM commit-queue geometry (all fault presets)");
+    let mut table = Table::new([
+        "queue", "window", "spin", "faults", "seed", "commits", "aborts", "abort%", "streak",
+        "oracle",
+    ]);
+    for (queue_len, window, update_spin) in [(4, 4, 128), (8, 8, 512), (16, 8, 512)] {
+        let geo = ChaosParams {
+            queue_len,
+            window,
+            update_spin,
+            irrevocable_after: 4,
+            ..base
+        };
+        for r in sweep(&geo, &seeds, &[BackendKind::Rococo]) {
+            let attempts = r.commits + r.aborts;
+            table.row([
+                queue_len.to_string(),
+                window.to_string(),
+                update_spin.to_string(),
+                r.params.faults.name().to_string(),
+                r.params.seed.to_string(),
+                r.commits.to_string(),
+                r.aborts.to_string(),
+                pct(r.aborts as f64 / attempts.max(1) as f64),
+                r.max_failed_streak.to_string(),
+                if r.ok() {
+                    "OK".into()
+                } else {
+                    "FAIL".to_string()
+                },
+            ]);
+            if !r.ok() {
+                failures.push(r.params);
+            }
+        }
+    }
+    table.print();
+
+    if failures.is_empty() {
+        println!("\nall chaos sweeps passed the oracle");
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("\n{} sweep runs FAILED the oracle:", failures.len());
+    for p in &failures {
+        eprintln!("  reproduce with: {}", reproducer_command(p));
+    }
+    ExitCode::FAILURE
+}

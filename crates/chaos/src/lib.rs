@@ -1,0 +1,46 @@
+//! `rococo-chaos`: a deterministic concurrency-fault harness for the TM
+//! runtimes.
+//!
+//! The ROCoCoTM commit path is a lock-free protocol spread over three
+//! shared structures (update set, commit queue, `GlobalTS`) plus an
+//! asynchronous validator. Its races do not show up under friendly
+//! scheduling; they need *hostile* schedules and a checker that can tell a
+//! wrong answer from a slow one. This crate provides both:
+//!
+//! * **Fault injection** ([`rococo_fpga::FaultConfig`], driven from
+//!   [`driver::ChaosParams`]): seeded delays, reply reordering, validator
+//!   pauses and (optionally) spurious abort verdicts inside the validation
+//!   service, stretching the windows in which commit-path races can fire.
+//! * **History recording** ([`history::ChaosRecorder`]): a [`TmSystem`]
+//!   wrapper that logs every transaction attempt — externally-read
+//!   `(addr, value)` pairs, the final write set, and globally-stamped
+//!   invocation/response times — with per-thread logs so recording does
+//!   not serialize the schedule under test.
+//! * **A serializability oracle** ([`oracle::check_history`]): for RMW
+//!   workloads whose "version" words carry unique values, the per-address
+//!   version order is uniquely recoverable from the history, so the
+//!   serialization graph is an ordinary digraph and acyclicity is a sound
+//!   *and complete* serializability check. A topological replay then
+//!   revalidates every read (including non-unique payload words) and the
+//!   final heap state.
+//! * **A stress driver** ([`driver::run_chaos`]): seeded workloads over
+//!   every backend, sweep and shrink helpers, and one-line reproducer
+//!   commands for failing seeds.
+//!
+//! [`TmSystem`]: rococo_stm::TmSystem
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod history;
+pub mod oracle;
+pub mod workload;
+
+pub use driver::{
+    reproducer_command, run_chaos, shrink, sweep, BackendKind, ChaosParams, ChaosReport,
+    FaultPreset,
+};
+pub use history::{ChaosRecorder, Outcome, TxnHistory};
+pub use oracle::{check_history, OracleInput};
+pub use workload::{gen_ops, Layout, Op, INITIAL_BALANCE};

@@ -55,6 +55,13 @@ pub enum FpgaVerdict {
     /// The transaction must abort: its snapshot slid out of the window
     /// ("transactions that neglect updates of `t_{k−W}` abort").
     AbortWindowOverflow,
+    /// No verdict was produced: the validation service stopped (shutdown
+    /// or validator-thread death) while the request was outstanding. The
+    /// engine itself never emits this — the service synthesizes it so a
+    /// worker blocked in `validate` sees a clean abort instead of a
+    /// panic. Callers must treat it as "abort, and do not assume the
+    /// request was observed".
+    ServiceStopped,
 }
 
 impl FpgaVerdict {

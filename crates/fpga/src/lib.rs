@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod fault;
 mod pipeline;
 pub mod resources;
 mod service;
@@ -47,5 +48,6 @@ mod service;
 pub use engine::{
     EngineConfig, EngineStats, FpgaVerdict, HistoryEntry, ValidateRequest, ValidationEngine,
 };
+pub use fault::{FaultConfig, FaultSnapshot, FaultStats};
 pub use pipeline::{PipelineStats, PipelinedValidator, TimingModel};
-pub use service::{ServiceHandle, ValidationService};
+pub use service::{PendingVerdict, ServiceHandle, ValidationService};

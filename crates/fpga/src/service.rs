@@ -7,12 +7,20 @@
 //! [`ValidationEngine`]; workers submit [`ValidateRequest`]s over a
 //! multi-producer channel and receive their [`FpgaVerdict`] over a
 //! per-request reply channel.
+//!
+//! The service optionally runs with a seeded [`FaultConfig`] (chaos
+//! testing): verdicts can be delayed, serviced out of submission order,
+//! or spuriously rejected, and the validator can stall — all without
+//! touching the engine's state, so the CPU-side protocol is exercised
+//! under pathological FPGA timing that stays semantically legal.
 
 use crate::engine::{EngineConfig, EngineStats, FpgaVerdict, ValidateRequest, ValidationEngine};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crate::fault::{FaultConfig, FaultRng, FaultSnapshot, FaultStats};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 enum Msg {
     Validate(ValidateRequest, Sender<FpgaVerdict>),
@@ -26,6 +34,7 @@ enum Msg {
 pub struct ServiceHandle {
     tx: Sender<Msg>,
     in_flight: Arc<AtomicU64>,
+    faults: Arc<FaultStats>,
 }
 
 impl std::fmt::Debug for ServiceHandle {
@@ -40,37 +49,46 @@ impl ServiceHandle {
     /// Submits a request and blocks until the verdict arrives (execution
     /// threads in ROCoCoTM "send R/W-set to FPGA and wait for verdict").
     ///
-    /// # Panics
-    ///
-    /// Panics if the validator thread has shut down.
+    /// If the validator thread has shut down — or dies while the request
+    /// is outstanding — this returns [`FpgaVerdict::ServiceStopped`]
+    /// instead of panicking, so a worker blocked here during service
+    /// teardown gets a clean abort path.
     pub fn validate(&self, req: ValidateRequest) -> FpgaVerdict {
         let (reply_tx, reply_rx) = bounded(1);
         self.in_flight.fetch_add(1, Ordering::Relaxed);
-        self.tx
-            .send(Msg::Validate(req, reply_tx))
-            .expect("validation service stopped");
-        let verdict = reply_rx.recv().expect("validation service dropped reply");
+        let verdict = if self.tx.send(Msg::Validate(req, reply_tx)).is_err() {
+            FpgaVerdict::ServiceStopped
+        } else {
+            reply_rx.recv().unwrap_or(FpgaVerdict::ServiceStopped)
+        };
         self.in_flight.fetch_sub(1, Ordering::Relaxed);
         verdict
     }
 
-    /// Submits a request without waiting; returns a receiver for the
-    /// verdict so the caller can overlap other work (meta-pipelining).
+    /// Submits a request without waiting; returns a [`PendingVerdict`] so
+    /// the caller can overlap other work (meta-pipelining).
     ///
-    /// # Panics
-    ///
-    /// Panics if the validator thread has shut down.
-    pub fn validate_async(&self, req: ValidateRequest) -> Receiver<FpgaVerdict> {
+    /// Async submitters count toward [`ServiceHandle::in_flight`] exactly
+    /// like blocking ones: the counter is incremented here and released
+    /// when the verdict is delivered (or the pending handle is dropped),
+    /// so admission-control layers watching the load signal see every
+    /// outstanding validation, not just the blocking ones.
+    pub fn validate_async(&self, req: ValidateRequest) -> PendingVerdict {
         let (reply_tx, reply_rx) = bounded(1);
-        self.tx
-            .send(Msg::Validate(req, reply_tx))
-            .expect("validation service stopped");
-        reply_rx
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        let failed = self.tx.send(Msg::Validate(req, reply_tx)).is_err();
+        PendingVerdict {
+            rx: reply_rx,
+            in_flight: Arc::clone(&self.in_flight),
+            settled: failed.then_some(FpgaVerdict::ServiceStopped),
+            released: false,
+        }
     }
 
-    /// Number of blocking validations currently waiting for a verdict
-    /// across *all* clients of this engine. A cheap load signal: service
-    /// layers shed or delay work when the shared validator backs up.
+    /// Number of validations currently waiting for a verdict across *all*
+    /// clients of this engine, blocking and asynchronous alike. A cheap
+    /// load signal: service layers shed or delay work when the shared
+    /// validator backs up.
     pub fn in_flight(&self) -> u64 {
         self.in_flight.load(Ordering::Relaxed)
     }
@@ -79,6 +97,12 @@ impl ServiceHandle {
     /// dequeued (queue depth of the pull queue of Figure 6).
     pub fn queue_depth(&self) -> usize {
         self.tx.len()
+    }
+
+    /// Counters of injected faults so far (all zero unless the service
+    /// was spawned with fault injection enabled).
+    pub fn fault_stats(&self) -> FaultSnapshot {
+        self.faults.snapshot()
     }
 
     /// Reads the engine's statistics (round-trips through the thread).
@@ -92,6 +116,61 @@ impl ServiceHandle {
             .send(Msg::Snapshot(tx))
             .expect("validation service stopped");
         rx.recv().expect("validation service dropped stats reply")
+    }
+}
+
+/// An outstanding asynchronous validation. Holds one slot of the service's
+/// `in_flight` load signal until the verdict is delivered or the handle is
+/// dropped.
+#[derive(Debug)]
+pub struct PendingVerdict {
+    rx: Receiver<FpgaVerdict>,
+    in_flight: Arc<AtomicU64>,
+    /// Pre-resolved verdict (submission already failed).
+    settled: Option<FpgaVerdict>,
+    /// Whether the in-flight slot has been released.
+    released: bool,
+}
+
+impl PendingVerdict {
+    /// Blocks until the verdict arrives. Returns
+    /// [`FpgaVerdict::ServiceStopped`] if the service shut down first.
+    pub fn wait(mut self) -> FpgaVerdict {
+        if let Some(v) = self.settled {
+            self.release();
+            return v;
+        }
+        let v = self.rx.recv().unwrap_or(FpgaVerdict::ServiceStopped);
+        self.release();
+        v
+    }
+
+    /// Non-blocking poll: `None` while the verdict is still outstanding.
+    pub fn try_wait(&mut self) -> Option<FpgaVerdict> {
+        if let Some(v) = self.settled {
+            self.release();
+            return Some(v);
+        }
+        match self.rx.try_recv() {
+            Ok(v) => {
+                self.release();
+                Some(v)
+            }
+            Err(_) => None,
+        }
+    }
+
+    fn release(&mut self) {
+        if !self.released {
+            self.released = true;
+            self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for PendingVerdict {
+    fn drop(&mut self) {
+        self.release();
     }
 }
 
@@ -109,17 +188,27 @@ impl std::fmt::Debug for ValidationService {
 }
 
 impl ValidationService {
-    /// Spawns the validator thread with the given engine configuration.
+    /// Spawns the validator thread with the given engine configuration and
+    /// no fault injection.
     pub fn spawn(config: EngineConfig) -> Self {
+        Self::spawn_with_faults(config, FaultConfig::disabled())
+    }
+
+    /// Spawns the validator thread with seeded fault injection (chaos
+    /// testing — see [`FaultConfig`]).
+    pub fn spawn_with_faults(config: EngineConfig, faults: FaultConfig) -> Self {
         let (tx, rx) = unbounded::<Msg>();
+        let fault_stats = Arc::new(FaultStats::default());
+        let stats_for_thread = Arc::clone(&fault_stats);
         let thread = std::thread::Builder::new()
             .name("rococo-fpga".into())
-            .spawn(move || run_engine(ValidationEngine::new(config), rx))
+            .spawn(move || run_engine(ValidationEngine::new(config), rx, faults, stats_for_thread))
             .expect("failed to spawn validator thread");
         Self {
             handle: ServiceHandle {
                 tx,
                 in_flight: Arc::new(AtomicU64::new(0)),
+                faults: fault_stats,
             },
             thread: Some(thread),
         }
@@ -150,20 +239,138 @@ impl Drop for ValidationService {
     }
 }
 
-fn run_engine(mut engine: ValidationEngine, rx: Receiver<Msg>) -> EngineStats {
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            Msg::Validate(req, reply) => {
-                let verdict = engine.process(&req);
-                // The submitter may have given up (e.g. its thread panicked);
-                // a lost reply must not take the validator down.
-                let _ = reply.send(verdict);
+/// How long a held-back (reordered) request may wait for a successor
+/// before it is serviced anyway — bounds the latency injection can add to
+/// the last request of a burst.
+const REORDER_FLUSH: Duration = Duration::from_micros(200);
+
+struct Injector {
+    cfg: FaultConfig,
+    rng: FaultRng,
+    stats: Arc<FaultStats>,
+}
+
+impl Injector {
+    /// Rolls the pre-dequeue fault: a validator stall.
+    fn maybe_pause(&mut self) {
+        if self.rng.hit(self.cfg.pause_prob) {
+            self.stats.pauses.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_micros(self.cfg.pause_us));
+        }
+    }
+
+    /// Rolls the spurious-abort fault. `Some(verdict)` replaces engine
+    /// processing entirely (the engine never observes the request, so its
+    /// window state matches what the CPU side can infer from the abort).
+    fn maybe_spurious(&mut self) -> Option<FpgaVerdict> {
+        if self.rng.hit(self.cfg.spurious_cycle_prob) {
+            self.stats.spurious_cycle.fetch_add(1, Ordering::Relaxed);
+            return Some(FpgaVerdict::AbortCycle);
+        }
+        if self.rng.hit(self.cfg.spurious_window_prob) {
+            self.stats.spurious_window.fetch_add(1, Ordering::Relaxed);
+            return Some(FpgaVerdict::AbortWindowOverflow);
+        }
+        None
+    }
+
+    /// Rolls the late-verdict fault (sleep before replying).
+    fn maybe_delay(&mut self) {
+        if self.rng.hit(self.cfg.delay_prob) {
+            self.stats.delayed.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_micros(self.cfg.delay_us));
+        }
+    }
+
+    /// Rolls the reorder fault: whether to hold this request back until
+    /// after its successor is serviced.
+    fn maybe_hold(&mut self) -> bool {
+        self.rng.hit(self.cfg.reorder_prob)
+    }
+}
+
+fn run_engine(
+    mut engine: ValidationEngine,
+    rx: Receiver<Msg>,
+    faults: FaultConfig,
+    stats: Arc<FaultStats>,
+) -> EngineStats {
+    let inject = faults.enabled();
+    let mut injector = Injector {
+        rng: FaultRng::new(faults.seed),
+        cfg: faults,
+        stats,
+    };
+    // A request held back for reordering: serviced after the next message,
+    // or after `REORDER_FLUSH` if no successor arrives (liveness).
+    let mut held: Option<(ValidateRequest, Sender<FpgaVerdict>)> = None;
+
+    let serve = |engine: &mut ValidationEngine,
+                 injector: &mut Injector,
+                 req: ValidateRequest,
+                 reply: Sender<FpgaVerdict>,
+                 inject: bool| {
+        let verdict = if inject {
+            match injector.maybe_spurious() {
+                Some(v) => v,
+                None => engine.process(&req),
             }
-            Msg::Snapshot(reply) => {
+        } else {
+            engine.process(&req)
+        };
+        if inject {
+            injector.maybe_delay();
+        }
+        // The submitter may have given up (e.g. its thread panicked);
+        // a lost reply must not take the validator down.
+        let _ = reply.send(verdict);
+    };
+
+    loop {
+        let msg = if held.is_some() {
+            match rx.recv_timeout(REORDER_FLUSH) {
+                Ok(msg) => Some(msg),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        } else {
+            match rx.recv() {
+                Ok(msg) => Some(msg),
+                Err(_) => break,
+            }
+        };
+
+        match msg {
+            Some(Msg::Validate(req, reply)) => {
+                if inject {
+                    injector.maybe_pause();
+                }
+                if inject && held.is_none() && injector.maybe_hold() {
+                    injector.stats.reordered.fetch_add(1, Ordering::Relaxed);
+                    held = Some((req, reply));
+                    continue;
+                }
+                serve(&mut engine, &mut injector, req, reply, inject);
+                if let Some((hreq, hreply)) = held.take() {
+                    serve(&mut engine, &mut injector, hreq, hreply, inject);
+                }
+            }
+            Some(Msg::Snapshot(reply)) => {
                 let _ = reply.send(engine.stats());
             }
-            Msg::Stop => break,
+            Some(Msg::Stop) => break,
+            None => {
+                // Reorder-flush timeout: no successor arrived, service the
+                // held request now.
+                if let Some((hreq, hreply)) = held.take() {
+                    serve(&mut engine, &mut injector, hreq, hreply, inject);
+                }
+            }
         }
+    }
+    // Shutting down: answer anything still held so blocked workers wake.
+    if let Some((hreq, hreply)) = held.take() {
+        serve(&mut engine, &mut injector, hreq, hreply, inject);
     }
     engine.stats()
 }
@@ -200,9 +407,51 @@ mod tests {
             .map(|i| h.validate_async(req(i, 0, &[i + 5000], &[i + 9000])))
             .collect();
         for p in pending {
-            assert!(p.recv().unwrap().is_commit());
+            assert!(p.wait().is_commit());
         }
         assert_eq!(h.stats().commits, 32);
+    }
+
+    #[test]
+    fn async_submitters_count_as_in_flight() {
+        // Regression: async submissions must hold an in-flight slot until
+        // their verdict is delivered, or admission control undercounts
+        // load. A paused validator keeps the verdicts outstanding
+        // deterministically while we sample the signal.
+        let svc = ValidationService::spawn_with_faults(
+            EngineConfig::default(),
+            FaultConfig {
+                seed: 1,
+                pause_prob: 1.0,
+                pause_us: 2_000,
+                ..FaultConfig::disabled()
+            },
+        );
+        let h = svc.handle();
+        let pending: Vec<_> = (0..8u64)
+            .map(|i| h.validate_async(req(i, 0, &[i + 100], &[i + 200])))
+            .collect();
+        // All eight were submitted and none can have been answered within
+        // the first pause window.
+        assert!(
+            h.in_flight() == 8,
+            "async submissions missing from the load signal: {}",
+            h.in_flight()
+        );
+        for p in pending {
+            assert!(p.wait().is_commit());
+        }
+        assert_eq!(h.in_flight(), 0, "verdict delivery must release slots");
+    }
+
+    #[test]
+    fn dropping_pending_verdict_releases_in_flight() {
+        let svc = ValidationService::spawn(EngineConfig::default());
+        let h = svc.handle();
+        let p = h.validate_async(req(0, 0, &[1], &[2]));
+        assert_eq!(h.in_flight(), 1);
+        drop(p);
+        assert_eq!(h.in_flight(), 0);
     }
 
     #[test]
@@ -255,5 +504,104 @@ mod tests {
         let h = svc.handle();
         h.validate(req(0, 0, &[1], &[2]));
         drop(svc); // must not hang or panic
+    }
+
+    #[test]
+    fn validate_after_shutdown_is_a_clean_abort() {
+        let svc = ValidationService::spawn(EngineConfig::default());
+        let h = svc.handle();
+        drop(svc);
+        // The send side fails: no panic, a ServiceStopped verdict.
+        assert_eq!(
+            h.validate(req(0, 0, &[1], &[2])),
+            FpgaVerdict::ServiceStopped
+        );
+        assert_eq!(h.in_flight(), 0);
+        // Async submissions resolve the same way.
+        assert_eq!(
+            h.validate_async(req(1, 0, &[3], &[4])).wait(),
+            FpgaVerdict::ServiceStopped
+        );
+        assert_eq!(h.in_flight(), 0);
+    }
+
+    #[test]
+    fn workers_blocked_in_validate_survive_service_drop() {
+        // Workers hammer validate() from several threads while the main
+        // thread tears the service down. Every call must return a real
+        // verdict or ServiceStopped — never panic, never hang.
+        let svc = ValidationService::spawn(EngineConfig::default());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut joins = Vec::new();
+        for t in 0..4u64 {
+            let h = svc.handle();
+            let stop = Arc::clone(&stop);
+            joins.push(std::thread::spawn(move || {
+                let mut stopped_seen = 0u64;
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) || stopped_seen == 0 {
+                    let v = h.validate(req(t * 1_000_000 + i, 0, &[t + 10], &[t + 20]));
+                    if v == FpgaVerdict::ServiceStopped {
+                        stopped_seen += 1;
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                stopped_seen
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        drop(svc);
+        stop.store(true, Ordering::Relaxed);
+        for j in joins {
+            let stopped = j.join().expect("worker panicked during service drop");
+            assert!(stopped >= 1, "worker never saw the clean stop signal");
+        }
+    }
+
+    #[test]
+    fn injected_faults_preserve_verdict_meaning() {
+        // Under aggressive injection every commit verdict must still be a
+        // true engine commit (spurious verdicts are only ever aborts), and
+        // the injected classes are counted.
+        let svc = ValidationService::spawn_with_faults(
+            EngineConfig::default(),
+            FaultConfig::aggressive(3),
+        );
+        let h = svc.handle();
+        let mut commits = 0u64;
+        for i in 0..300u64 {
+            let base = 10_000 + i * 4;
+            if h.validate(req(i, 0, &[base], &[base + 1])).is_commit() {
+                commits += 1;
+            }
+        }
+        let injected = h.fault_stats();
+        assert!(injected.total() > 0, "aggressive preset injected nothing");
+        let stats = svc.shutdown();
+        // Engine-side commits equal CPU-side observed commits: injection
+        // never forged a commit.
+        assert_eq!(stats.commits, commits);
+        // Requests the engine saw = submitted minus spuriously aborted.
+        assert_eq!(stats.requests, 300 - injected.spurious_aborts());
+    }
+
+    #[test]
+    fn reordering_is_bounded_by_flush_timeout() {
+        // With reordering forced on, a lone request (no successor to swap
+        // with) must still be answered within the flush window.
+        let svc = ValidationService::spawn_with_faults(
+            EngineConfig::default(),
+            FaultConfig {
+                seed: 9,
+                reorder_prob: 1.0,
+                ..FaultConfig::disabled()
+            },
+        );
+        let h = svc.handle();
+        assert!(h.validate(req(0, 0, &[5], &[6])).is_commit());
+        assert!(h.fault_stats().reordered >= 1);
     }
 }

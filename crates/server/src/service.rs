@@ -276,6 +276,7 @@ impl<S: TmSystem + 'static> TxKv<S> {
             backend: self.system.name(),
             per_shard,
             aggregate,
+            injected_faults: self.system.injected_faults(),
             elapsed: self.started.elapsed(),
         }
     }

@@ -22,7 +22,7 @@ pub struct ShardStats {
     /// Extra attempts beyond the first, across all requests.
     pub(crate) retries: AtomicU64,
     /// Aborts by cause, indexed by [`AbortKind::index`].
-    pub(crate) aborts: [AtomicU64; 6],
+    pub(crate) aborts: [AtomicU64; AbortKind::COUNT],
     /// Request latency from enqueue to reply (includes queue wait).
     pub(crate) latency: LatencyHistogram,
 }
@@ -50,7 +50,7 @@ impl ShardStats {
 
     /// Takes a point-in-time copy.
     pub fn snapshot(&self) -> ShardSnapshot {
-        let mut aborts = [0u64; 6];
+        let mut aborts = [0u64; AbortKind::COUNT];
         for (dst, src) in aborts.iter_mut().zip(self.aborts.iter()) {
             *dst = src.load(Ordering::Relaxed);
         }
@@ -81,7 +81,7 @@ pub struct ShardSnapshot {
     /// Extra attempts beyond the first, across all requests.
     pub retries: u64,
     /// Aborts by cause, indexed by [`AbortKind::index`].
-    pub aborts: [u64; 6],
+    pub aborts: [u64; AbortKind::COUNT],
     /// Request latency from enqueue to reply.
     pub latency: HistogramSnapshot,
 }
@@ -129,6 +129,11 @@ pub struct TxKvReport {
     pub per_shard: Vec<ShardSnapshot>,
     /// The sum of all shard snapshots.
     pub aggregate: ShardSnapshot,
+    /// Counters from the backend's fault-injection layer, when the
+    /// backend runs one (see
+    /// [`TmSystem::injected_faults`](rococo_stm::TmSystem::injected_faults)).
+    /// `None` for backends without an injection layer.
+    pub injected_faults: Option<rococo_fpga::FaultSnapshot>,
     /// Wall-clock time the service has been (or was) running.
     pub elapsed: Duration,
 }
@@ -188,6 +193,16 @@ impl fmt::Display for TxKvReport {
             }
             writeln!(f)?;
         }
+        if let Some(fs) = &self.injected_faults {
+            if fs.total() > 0 {
+                writeln!(
+                    f,
+                    "  injected faults: delayed={} reordered={} spurious-cycle={} \
+                     spurious-window={} pauses={}",
+                    fs.delayed, fs.reordered, fs.spurious_cycle, fs.spurious_window, fs.pauses,
+                )?;
+            }
+        }
         for (i, s) in self.per_shard.iter().enumerate() {
             writeln!(
                 f,
@@ -227,13 +242,13 @@ mod tests {
         let mut a = ShardSnapshot {
             committed: 10,
             shed: 1,
-            aborts: [1, 0, 0, 0, 0, 0],
+            aborts: [1, 0, 0, 0, 0, 0, 0],
             ..Default::default()
         };
         let b = ShardSnapshot {
             committed: 5,
             failed: 2,
-            aborts: [0, 3, 0, 0, 0, 0],
+            aborts: [0, 3, 0, 0, 0, 0, 0],
             ..Default::default()
         };
         a.merge(&b);
@@ -250,9 +265,10 @@ mod tests {
             per_shard: vec![ShardSnapshot::default()],
             aggregate: ShardSnapshot {
                 committed: 1000,
-                aborts: [5, 0, 0, 0, 0, 0],
+                aborts: [5, 0, 0, 0, 0, 0, 0],
                 ..Default::default()
             },
+            injected_faults: None,
             elapsed: Duration::from_secs(2),
         };
         report.aggregate.latency.p99_ns = 1_500;
@@ -260,5 +276,23 @@ mod tests {
         assert!(text.contains("500 req/s"), "{text}");
         assert!(text.contains("cpu-stale-read=5"), "{text}");
         assert!(text.contains("1.5us"), "{text}");
+        assert!(!text.contains("injected faults"), "{text}");
+    }
+
+    #[test]
+    fn report_renders_injected_faults_when_present() {
+        let report = TxKvReport {
+            backend: "rococotm",
+            injected_faults: Some(rococo_fpga::FaultSnapshot {
+                delayed: 3,
+                spurious_cycle: 2,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let text = report.to_string();
+        assert!(text.contains("injected faults"), "{text}");
+        assert!(text.contains("delayed=3"), "{text}");
+        assert!(text.contains("spurious-cycle=2"), "{text}");
     }
 }

@@ -518,6 +518,11 @@ pub fn simulate(
                         FpgaVerdict::AbortWindowOverflow => {
                             retry!(w, verdict_time, AbortKind::FpgaWindow);
                         }
+                        FpgaVerdict::ServiceStopped => {
+                            // Only the service layer synthesizes this; a
+                            // direct `engine.process` call cannot return it.
+                            unreachable!("engine never emits ServiceStopped")
+                        }
                     }
                 }
             }

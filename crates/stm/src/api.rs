@@ -23,20 +23,30 @@ pub enum AbortKind {
     FallbackLock,
     /// The user closure requested a retry.
     Explicit,
+    /// The backend's validation service stopped before producing a
+    /// verdict (shutdown or validator death). The transaction's effects
+    /// were discarded; retrying is pointless unless the service comes
+    /// back.
+    ServiceStopped,
 }
 
 impl AbortKind {
     /// Every abort kind, in the order the per-reason counters are laid
     /// out. Service layers iterate this to build abort-cause breakdowns
     /// without hard-coding the variant list.
-    pub const ALL: [AbortKind; 6] = [
+    pub const ALL: [AbortKind; 7] = [
         AbortKind::Conflict,
         AbortKind::FpgaCycle,
         AbortKind::FpgaWindow,
         AbortKind::Capacity,
         AbortKind::FallbackLock,
         AbortKind::Explicit,
+        AbortKind::ServiceStopped,
     ];
+
+    /// Number of abort kinds — the length of dense per-cause counter
+    /// arrays indexed by [`AbortKind::index`].
+    pub const COUNT: usize = Self::ALL.len();
 
     /// The position of this kind within [`AbortKind::ALL`] (stable index
     /// for dense per-cause counter arrays).
@@ -48,6 +58,7 @@ impl AbortKind {
             AbortKind::Capacity => 3,
             AbortKind::FallbackLock => 4,
             AbortKind::Explicit => 5,
+            AbortKind::ServiceStopped => 6,
         }
     }
 
@@ -60,6 +71,7 @@ impl AbortKind {
             AbortKind::Capacity => "htm-capacity",
             AbortKind::FallbackLock => "htm-fallback-lock",
             AbortKind::Explicit => "explicit-retry",
+            AbortKind::ServiceStopped => "validator-stopped",
         }
     }
 }
@@ -168,6 +180,16 @@ pub trait TmSystem: Send + Sync {
     /// recording wrapper uses it to tag transaction records with a phase
     /// epoch.
     fn mark_phase(&self) {}
+
+    /// Injected-fault counters of the backend's validation service, when
+    /// the backend runs one with chaos-testing fault injection enabled.
+    /// `None` for backends without a validation service (or with
+    /// injection disabled counters stay zero). Service layers surface
+    /// this in their reports so injected chaos is distinguishable from
+    /// organic aborts.
+    fn injected_faults(&self) -> Option<rococo_fpga::FaultSnapshot> {
+        None
+    }
 }
 
 /// Runs `body` as a transaction on `system`, retrying on abort with
@@ -252,6 +274,8 @@ pub struct TmStats {
     pub aborts_fallback: AtomicU64,
     /// Aborts: explicit user retry.
     pub aborts_explicit: AtomicU64,
+    /// Aborts: validation service stopped mid-request.
+    pub aborts_service_stopped: AtomicU64,
     /// Commits that ran on a fallback path (HTM global lock).
     pub fallback_commits: AtomicU64,
     /// Commits of read-only transactions (never leave the CPU).
@@ -275,6 +299,7 @@ impl TmStats {
             AbortKind::Capacity => &self.aborts_capacity,
             AbortKind::FallbackLock => &self.aborts_fallback,
             AbortKind::Explicit => &self.aborts_explicit,
+            AbortKind::ServiceStopped => &self.aborts_service_stopped,
         };
         ctr.fetch_add(1, Ordering::Relaxed);
     }
@@ -308,6 +333,10 @@ impl TmStats {
                 (
                     AbortKind::Explicit,
                     self.aborts_explicit.load(Ordering::Relaxed),
+                ),
+                (
+                    AbortKind::ServiceStopped,
+                    self.aborts_service_stopped.load(Ordering::Relaxed),
                 ),
             ]),
             fallback_commits: self.fallback_commits.load(Ordering::Relaxed),

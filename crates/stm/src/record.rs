@@ -160,6 +160,10 @@ impl<S: TmSystem> TmSystem for Recorder<S> {
     fn mark_phase(&self) {
         self.epoch.fetch_add(1, Ordering::Relaxed);
     }
+
+    fn injected_faults(&self) -> Option<rococo_fpga::FaultSnapshot> {
+        self.inner.injected_faults()
+    }
 }
 
 #[cfg(test)]

@@ -25,8 +25,8 @@ use crate::api::{Abort, AbortKind, TmConfig, TmStats, TmSystem, Transaction};
 use crate::heap::{Addr, TmHeap, Word};
 use parking_lot::{RwLock, RwLockWriteGuard};
 use rococo_fpga::{
-    EngineConfig, EngineStats, FpgaVerdict, ServiceHandle, TimingModel, ValidateRequest,
-    ValidationService,
+    EngineConfig, EngineStats, FaultConfig, FaultSnapshot, FpgaVerdict, ServiceHandle, TimingModel,
+    ValidateRequest, ValidationService,
 };
 use rococo_sigs::{ChunkedSig, Sig, SigScheme};
 use std::collections::HashMap;
@@ -58,6 +58,10 @@ pub struct RococoConfig {
     /// transactions can eventually commit, irrevocability may be
     /// required", section 4.2).
     pub irrevocable_after: u32,
+    /// Fault injection applied to the spawned validation service (chaos
+    /// testing). Disabled by default; the `rococo-chaos` harness enables
+    /// it to exercise the commit path under pathological FPGA timing.
+    pub faults: FaultConfig,
 }
 
 impl Default for RococoConfig {
@@ -70,6 +74,7 @@ impl Default for RococoConfig {
             timing: TimingModel::default(),
             update_spin: 1 << 14,
             irrevocable_after: 16,
+            faults: FaultConfig::disabled(),
         }
     }
 }
@@ -129,10 +134,13 @@ impl RococoTm {
             "commit queue must cover at least one window"
         );
         let scheme = config.scheme.clone();
-        let service = ValidationService::spawn(EngineConfig {
-            window: config.window,
-            scheme: scheme.clone(),
-        });
+        let service = ValidationService::spawn_with_faults(
+            EngineConfig {
+                window: config.window,
+                scheme: scheme.clone(),
+            },
+            config.faults.clone(),
+        );
         let handle = service.handle();
         Self {
             heap: TmHeap::new(config.tm.heap_words),
@@ -230,23 +238,49 @@ impl std::fmt::Debug for RococoTx<'_> {
 }
 
 impl RococoTx<'_> {
+    /// Records an abort against this thread's escalation counter and
+    /// builds the `Abort`. Every abort path must route through here:
+    /// `consecutive_aborts` drives irrevocability escalation, and a path
+    /// that skips the bump can starve a thread below the escalation
+    /// threshold forever.
+    fn count_abort(&self, kind: AbortKind) -> Abort {
+        self.tm.consecutive_aborts[self.thread].fetch_add(1, Ordering::Relaxed);
+        Abort::new(kind)
+    }
+
     /// Drains the commit queue from `local_ts` to the current `GlobalTS`
     /// into a fresh `TempSet` (Algorithm 1 lines 9–13).
     ///
     /// Returns `None` — meaning the transaction must abort — if the queue
     /// was overrun (the laggard cannot reconstruct what it missed).
     fn drain_temp_set(&mut self) -> Option<(Sig, u64)> {
+        let queue_len = self.tm.config.queue_len as u64;
+        let start_ts = self.local_ts;
         let gts = self.tm.global_ts.load(Ordering::SeqCst);
-        if gts == self.local_ts {
+        if gts == start_ts {
             return Some((self.tm.scheme.new_sig(), gts));
         }
-        if gts - self.local_ts > self.tm.config.queue_len as u64 {
+        // The committer at sequence `s` overwrites ring slot `s % queue_len`
+        // the moment GlobalTS reaches `s`, so the oldest slot still intact is
+        // `gts - queue_len`. A lag of exactly `queue_len` means slot
+        // `start_ts % queue_len` is the one being clobbered *right now* —
+        // only a strict inequality keeps the scan inside live history.
+        if gts - start_ts >= queue_len {
             return None; // ring overrun: history lost
         }
         let mut temp = self.tm.scheme.new_sig();
-        for seq in self.local_ts..gts {
-            let slot = &self.tm.commit_queue[(seq % self.tm.config.queue_len as u64) as usize];
+        for seq in start_ts..gts {
+            let slot = &self.tm.commit_queue[(seq % queue_len) as usize];
             temp.union_with(&slot.read());
+        }
+        // The scan itself takes time: committers may have advanced GlobalTS
+        // while we were reading and recycled slots out from under us. The
+        // per-slot locks only guarantee each read was not torn, not that the
+        // slot still held the sequence we wanted. Re-check against the
+        // *original* start before trusting the union.
+        let gts_after = self.tm.global_ts.load(Ordering::SeqCst);
+        if gts_after - start_ts >= queue_len {
+            return None; // a scanned slot may have been recycled mid-scan
         }
         self.local_ts = gts;
         Some((temp, gts))
@@ -265,11 +299,11 @@ impl RococoTx<'_> {
             // address; if we already missed updates, abort instead.
             while self.tm.update_set_hits(addr) {
                 if !self.miss_set.is_empty() {
-                    return Err(Abort::new(AbortKind::Conflict));
+                    return Err(self.count_abort(AbortKind::Conflict));
                 }
                 spins += 1;
                 if spins > self.tm.config.update_spin {
-                    return Err(Abort::new(AbortKind::Conflict));
+                    return Err(self.count_abort(AbortKind::Conflict));
                 }
                 std::hint::spin_loop();
             }
@@ -279,7 +313,7 @@ impl RococoTx<'_> {
 
             // Lines 9–13: fold newly committed write sets into TempSet.
             let Some((temp, gts)) = self.drain_temp_set() else {
-                return Err(Abort::new(AbortKind::FpgaWindow));
+                return Err(self.count_abort(AbortKind::FpgaWindow));
             };
 
             // If a committer was mid-write-back on this address we may have
@@ -304,8 +338,7 @@ impl RococoTx<'_> {
                 // The address we are reading was updated after ValidTS: the
                 // snapshot cannot stay consistent (Figure 8(d)). This is the
                 // CPU-side fast abort path — no out-of-core latency.
-                self.tm.consecutive_aborts[self.thread].fetch_add(1, Ordering::Relaxed);
-                return Err(Abort::new(AbortKind::Conflict));
+                return Err(self.count_abort(AbortKind::Conflict));
             }
 
             // Line 20.
@@ -332,22 +365,13 @@ impl Transaction for RococoTx<'_> {
 
     fn commit(self) -> Result<(), Abort> {
         let tm = self.tm;
-        let record = |r: Result<(), Abort>| {
-            let ctr = &tm.consecutive_aborts[self.thread];
-            match r {
-                Ok(()) => ctr.store(0, Ordering::Relaxed),
-                Err(_) => {
-                    ctr.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-            r
-        };
 
         // Read-only transactions commit directly on the CPU: their read
         // set is consistent at valid_ts by construction.
         if self.write_addrs.is_empty() {
             tm.stats.read_only_commits.fetch_add(1, Ordering::Relaxed);
-            return record(Ok(()));
+            tm.consecutive_aborts[self.thread].store(0, Ordering::Relaxed);
+            return Ok(());
         }
 
         // Ordinary committers share the gate; an irrevocable transaction
@@ -380,10 +404,13 @@ impl Transaction for RococoTx<'_> {
         let seq = match verdict {
             FpgaVerdict::Commit { seq } => seq,
             FpgaVerdict::AbortCycle => {
-                return record(Err(Abort::new(AbortKind::FpgaCycle)));
+                return Err(self.count_abort(AbortKind::FpgaCycle));
             }
             FpgaVerdict::AbortWindowOverflow => {
-                return record(Err(Abort::new(AbortKind::FpgaWindow)));
+                return Err(self.count_abort(AbortKind::FpgaWindow));
+            }
+            FpgaVerdict::ServiceStopped => {
+                return Err(self.count_abort(AbortKind::ServiceStopped));
             }
         };
 
@@ -429,7 +456,8 @@ impl Transaction for RococoTx<'_> {
         if self.irrevocable.is_some() {
             tm.stats.fallback_commits.fetch_add(1, Ordering::Relaxed);
         }
-        record(Ok(()))
+        tm.consecutive_aborts[self.thread].store(0, Ordering::Relaxed);
+        Ok(())
     }
 }
 
@@ -476,6 +504,10 @@ impl TmSystem for RococoTm {
 
     fn stats(&self) -> &TmStats {
         &self.stats
+    }
+
+    fn injected_faults(&self) -> Option<FaultSnapshot> {
+        Some(self.handle.fault_stats())
     }
 }
 
@@ -711,5 +743,52 @@ mod tests {
                 "round {round}: write skew committed (x={x}, y={y})"
             );
         }
+    }
+
+    #[test]
+    fn read_path_aborts_count_toward_escalation() {
+        // Regression: the update-set spin-exhaustion abort used to skip
+        // `consecutive_aborts`, so a reader starved by busy committers
+        // could never escalate to irrevocability.
+        let tm = RococoTm::with_configs(RococoConfig {
+            tm: TmConfig {
+                heap_words: 64,
+                max_threads: 2,
+            },
+            update_spin: 0,
+            ..RococoConfig::default()
+        });
+        // Pretend thread 1 is mid-write-back over address 5.
+        let mut sig = tm.scheme.new_sig();
+        tm.scheme.insert(&mut sig, 5);
+        *tm.update_slots[1].sig.write() = Some(sig);
+        tm.active_updates.fetch_add(1, Ordering::SeqCst);
+
+        let mut tx = tm.begin(0);
+        let err = tx.read(5).unwrap_err();
+        assert_eq!(err.kind, AbortKind::Conflict);
+        assert_eq!(tm.consecutive_aborts[0].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn commit_queue_lag_of_exactly_queue_len_aborts_the_laggard() {
+        // Regression: `drain_temp_set` accepted a lag equal to `queue_len`,
+        // scanning the slot the next committer recycles concurrently.
+        let tm = RococoTm::with_configs(RococoConfig {
+            tm: TmConfig {
+                heap_words: 64,
+                max_threads: 1,
+            },
+            window: 4,
+            queue_len: 4,
+            ..RococoConfig::default()
+        });
+        let mut tx = tm.begin(0);
+        // Four commits elsewhere wrap the whole ring: the slot holding the
+        // laggard's next sequence is exactly the one being reused.
+        tm.global_ts.store(4, Ordering::SeqCst);
+        let err = tx.read(0).unwrap_err();
+        assert_eq!(err.kind, AbortKind::FpgaWindow);
+        assert_eq!(tm.consecutive_aborts[0].load(Ordering::Relaxed), 1);
     }
 }

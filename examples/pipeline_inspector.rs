@@ -58,6 +58,8 @@ fn main() {
             FpgaVerdict::Commit { seq } => format!("COMMIT (seq {seq})"),
             FpgaVerdict::AbortCycle => "ABORT: dependency cycle".into(),
             FpgaVerdict::AbortWindowOverflow => "ABORT: window overflow".into(),
+            // Synthesised by the service layer; the engine never emits it.
+            FpgaVerdict::ServiceStopped => unreachable!("engine never emits ServiceStopped"),
         };
         println!("t={now_ns:7.1}ns  tx{}  {outcome}", r.tx_id);
         println!("            {label}");

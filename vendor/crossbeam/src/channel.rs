@@ -274,8 +274,16 @@ impl<T> Drop for Receiver<T> {
         let mut st = self.shared.state.lock().unwrap();
         st.receivers -= 1;
         if st.receivers == 0 {
+            // Match crossbeam-channel: disconnecting the last receiver
+            // discards every queued message. Messages may themselves own
+            // channel endpoints (e.g. per-request reply senders), so they
+            // must be destroyed here or their peers block forever; they
+            // are dropped outside the lock because their destructors may
+            // touch other channels.
+            let orphaned: Vec<T> = st.queue.drain(..).collect();
             drop(st);
             self.shared.not_full.notify_all();
+            drop(orphaned);
         }
     }
 }
