@@ -6,6 +6,9 @@
 #   ./ci.sh --stress   # + the pinned chaos tier (deterministic seed matrix
 #                      #   over every TM backend, fault-injected ROCoCoTM
 #                      #   included; prints reproducer commands on failure)
+#   ./ci.sh --recovery # + the crash-recovery tier: the seeded kill-point x
+#                      #   fsync-mode matrix (WAL writer killed under load,
+#                      #   recovery checked for prefix consistency)
 #
 # The nightly job sets CHAOS_EXTENDED=1, which widens the stress tier to
 # the full seed sweep and the hostile commit-queue geometries.
@@ -13,9 +16,11 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 STRESS=0
+RECOVERY=0
 for arg in "$@"; do
   case "$arg" in
     --stress) STRESS=1 ;;
+    --recovery) RECOVERY=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -36,6 +41,11 @@ cargo test --workspace -q
 if [[ "$STRESS" == "1" || "${CHAOS_EXTENDED:-0}" == "1" ]]; then
   echo "== chaos stress tier (pinned seeds; CHAOS_EXTENDED=1 for the nightly sweep)"
   cargo run --release -q -p rococo-chaos --bin chaos -- --pinned --quiet
+fi
+
+if [[ "$RECOVERY" == "1" ]]; then
+  echo "== crash-recovery tier (kill-point x fsync-mode matrix, seeded)"
+  cargo run --release -q -p rococo-chaos --bin recovery -- --matrix --quiet
 fi
 
 echo "CI OK"

@@ -8,20 +8,32 @@
 //! counts shed requests as lost, so queue-wait shows up in the latency
 //! tail instead of slowing the arrival process.
 //!
+//! Each run is also appended to a machine-readable JSON report
+//! (`BENCH_txkv.json` by default, one entry per backend × durability
+//! mode) so CI and notebooks can track throughput and tail latency
+//! without scraping the text output. `--durability` takes a
+//! comma-separated list of modes: `none` (in-memory, the default) and/or
+//! WAL fsync policies (`always`, `everyN`, `never`).
+//!
 //! ```text
 //! cargo run -p rococo-bench --bin txkv_load            # tinystm + rococo, 1M ops each
 //! cargo run -p rococo-bench --bin txkv_load -- --quick # 100k ops for smoke runs
 //! cargo run -p rococo-bench --bin txkv_load -- --backend rococo --mode open --rate 50000
+//! cargo run -p rococo-bench --bin txkv_load -- --durability none,always --read-pct 20
 //! ```
 
 use rand::distributions::Distribution;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rococo_bench::banner;
-use rococo_server::{PendingReply, Request, Response, TxKv, TxKvConfig, TxKvError};
+use rococo_server::{
+    DurabilityConfig, PendingReply, Request, Response, TxKv, TxKvConfig, TxKvError,
+};
 use rococo_stm::{RococoTm, TinyStm, TmConfig, TmSystem, TsxHtm};
 use rococo_trace::ZipfSampler;
+use rococo_wal::FsyncPolicy;
 use std::collections::VecDeque;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -30,6 +42,30 @@ use std::time::{Duration, Instant};
 enum Mode {
     Closed,
     Open,
+}
+
+/// One durability mode under test: in-memory, or WAL with a given fsync
+/// policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Durability {
+    None,
+    Wal(FsyncPolicy),
+}
+
+impl Durability {
+    fn name(self) -> String {
+        match self {
+            Durability::None => "none".into(),
+            Durability::Wal(f) => f.name(),
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        if s == "none" {
+            return Some(Durability::None);
+        }
+        FsyncPolicy::parse(s).map(Durability::Wal)
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -45,6 +81,8 @@ struct LoadCfg {
     mode: Mode,
     rate: u64,
     queue_capacity: usize,
+    durability: Vec<Durability>,
+    json_path: String,
 }
 
 impl Default for LoadCfg {
@@ -61,6 +99,8 @@ impl Default for LoadCfg {
             mode: Mode::Closed,
             rate: 25_000,
             queue_capacity: 256,
+            durability: vec![Durability::None],
+            json_path: "BENCH_txkv.json".into(),
         }
     }
 }
@@ -91,12 +131,23 @@ fn parse_args() -> LoadCfg {
                     other => panic!("unknown mode {other} (open|closed)"),
                 }
             }
+            "--durability" => {
+                cfg.durability = value("--durability")
+                    .split(',')
+                    .map(|s| {
+                        Durability::parse(s)
+                            .unwrap_or_else(|| panic!("unknown durability mode {s:?}"))
+                    })
+                    .collect();
+            }
+            "--json" => cfg.json_path = value("--json"),
             "--quick" => cfg.ops = 100_000,
             "--help" | "-h" => {
                 println!(
                     "txkv_load [--backend tinystm|htm|rococo|both|all] [--ops N] \
                      [--shards N] [--workers N] [--clients N] [--keys N] [--theta F] \
-                     [--read-pct P] [--mode closed|open] [--rate R] [--queue N] [--quick]"
+                     [--read-pct P] [--mode closed|open] [--rate R] [--queue N] \
+                     [--durability none,always,everyN,never] [--json PATH|none] [--quick]"
                 );
                 std::process::exit(0);
             }
@@ -242,17 +293,93 @@ fn open_loop<S: TmSystem + 'static>(
     }
 }
 
-fn run_backend<S: TmSystem + 'static>(system: Arc<S>, cfg: &LoadCfg) {
+/// One run's machine-readable summary (a JSON object in the report
+/// file).
+struct RunResult {
+    backend: &'static str,
+    durability: String,
+    elapsed_s: f64,
+    committed: u64,
+    throughput_rps: f64,
+    shed: u64,
+    failed: u64,
+    abort_rate: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    wal: Option<rococo_wal::WalSnapshot>,
+}
+
+impl RunResult {
+    /// Hand-rolled JSON (the workspace deliberately has no JSON crate).
+    /// Every value is numeric or a short ASCII name, so no escaping is
+    /// needed.
+    fn to_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"backend\":\"{}\",\"durability\":\"{}\",\"elapsed_s\":{:.3},\
+             \"committed\":{},\"throughput_rps\":{:.1},\"shed\":{},\"failed\":{},\
+             \"abort_rate\":{:.5},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{}",
+            self.backend,
+            self.durability,
+            self.elapsed_s,
+            self.committed,
+            self.throughput_rps,
+            self.shed,
+            self.failed,
+            self.abort_rate,
+            self.p50_ns,
+            self.p99_ns,
+            self.p999_ns,
+        );
+        match &self.wal {
+            Some(w) => {
+                let _ = write!(
+                    out,
+                    ",\"wal\":{{\"acked_records\":{},\"batches\":{},\"mean_batch\":{:.2},\
+                     \"batch_p99\":{},\"fsyncs\":{},\"fsync_p99_ns\":{},\"checkpoints\":{}}}}}",
+                    w.acked_records,
+                    w.batches,
+                    w.mean_batch(),
+                    w.batch_sizes.quantile_upper(0.99),
+                    w.fsyncs,
+                    w.fsync_ns.quantile_upper(0.99),
+                    w.checkpoints,
+                );
+            }
+            None => out.push_str(",\"wal\":null}"),
+        }
+    }
+}
+
+fn run_backend<S: TmSystem + 'static>(
+    system: Arc<S>,
+    cfg: &LoadCfg,
+    durability: Durability,
+) -> RunResult {
+    let wal_dir = match durability {
+        Durability::None => None,
+        Durability::Wal(_) => Some(rococo_wal::scratch_dir("txkv-load")),
+    };
     let kv_cfg = TxKvConfig {
         shards: cfg.shards,
         workers_per_shard: cfg.workers_per_shard,
         queue_capacity: cfg.queue_capacity,
         keys: cfg.keys,
+        durability: match (durability, &wal_dir) {
+            (Durability::Wal(fsync), Some(dir)) => Some(DurabilityConfig {
+                dir: dir.clone(),
+                fsync,
+                checkpoint_every: 0, // measure raw group commit, no truncation pauses
+                kill: None,
+            }),
+            _ => None,
+        },
         ..TxKvConfig::default()
     };
     let kv = TxKv::start(system, kv_cfg).expect("service start");
     banner(&format!(
-        "txkv_load on {} ({} shards x {} workers, {} {} clients)",
+        "txkv_load on {} ({} shards x {} workers, {} {} clients, durability={})",
         kv.backend().name(),
         cfg.shards,
         cfg.workers_per_shard,
@@ -261,9 +388,12 @@ fn run_backend<S: TmSystem + 'static>(system: Arc<S>, cfg: &LoadCfg) {
             Mode::Closed => "closed-loop",
             Mode::Open => "open-loop",
         },
+        durability.name(),
     ));
 
     // Seed every account with a balance so transfers mostly succeed.
+    // Direct stores bypass the WAL, which is fine here: the bench
+    // measures logging throughput, it never recovers the directory.
     let heap = kv.backend().heap();
     let table = kv.table();
     for k in 0..cfg.keys {
@@ -305,15 +435,72 @@ fn run_backend<S: TmSystem + 'static>(system: Arc<S>, cfg: &LoadCfg) {
         wall.as_secs_f64(),
     );
     print!("{report}");
-    let stats = report.aggregate;
+    let stats = &report.aggregate;
     let attempts = stats.committed + stats.retries;
+    let abort_rate = if attempts > 0 {
+        stats.total_aborts() as f64 / attempts as f64
+    } else {
+        0.0
+    };
     if attempts > 0 {
         println!(
             "  attempt-level abort rate: {:.2}% ({} aborts / {} attempts)",
-            100.0 * stats.total_aborts() as f64 / attempts as f64,
+            100.0 * abort_rate,
             stats.total_aborts(),
             attempts,
         );
+    }
+
+    if let Some(dir) = wal_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    RunResult {
+        backend: report.backend,
+        durability: durability.name(),
+        elapsed_s: wall.as_secs_f64(),
+        committed: stats.committed,
+        throughput_rps: stats.committed as f64 / wall.as_secs_f64().max(1e-9),
+        shed,
+        failed,
+        abort_rate,
+        p50_ns: stats.latency.p50_ns,
+        p99_ns: stats.latency.p99_ns,
+        p999_ns: stats.latency.p999_ns,
+        wal: report.wal.clone(),
+    }
+}
+
+fn write_json(cfg: &LoadCfg, results: &[RunResult]) {
+    if cfg.json_path == "none" {
+        return;
+    }
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"bench\":\"txkv_load\",\"ops\":{},\"shards\":{},\"workers_per_shard\":{},\
+         \"clients\":{},\"keys\":{},\"theta\":{},\"read_pct\":{},\"mode\":\"{}\",\"runs\":[",
+        cfg.ops,
+        cfg.shards,
+        cfg.workers_per_shard,
+        cfg.clients,
+        cfg.keys,
+        cfg.theta,
+        cfg.read_pct,
+        match cfg.mode {
+            Mode::Closed => "closed",
+            Mode::Open => "open",
+        },
+    );
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        r.to_json(&mut out);
+    }
+    out.push_str("]}\n");
+    match std::fs::write(&cfg.json_path, &out) {
+        Ok(()) => println!("wrote {} ({} runs)", cfg.json_path, results.len()),
+        Err(e) => eprintln!("could not write {}: {e}", cfg.json_path),
     }
 }
 
@@ -336,13 +523,31 @@ fn main() {
             cfg.backend
         );
     }
-    if run_tiny {
-        run_backend(Arc::new(TinyStm::with_config(tm_cfg)), &cfg);
+    let mut results = Vec::new();
+    for &durability in &cfg.durability {
+        // A fresh backend per run: durable mode requires one, and it
+        // keeps in-memory runs comparable (no warmed-up metadata).
+        if run_tiny {
+            results.push(run_backend(
+                Arc::new(TinyStm::with_config(tm_cfg)),
+                &cfg,
+                durability,
+            ));
+        }
+        if run_htm {
+            results.push(run_backend(
+                Arc::new(TsxHtm::with_config(tm_cfg)),
+                &cfg,
+                durability,
+            ));
+        }
+        if run_rococo {
+            results.push(run_backend(
+                Arc::new(RococoTm::with_config(tm_cfg)),
+                &cfg,
+                durability,
+            ));
+        }
     }
-    if run_htm {
-        run_backend(Arc::new(TsxHtm::with_config(tm_cfg)), &cfg);
-    }
-    if run_rococo {
-        run_backend(Arc::new(RococoTm::with_config(tm_cfg)), &cfg);
-    }
+    write_json(&cfg, &results);
 }

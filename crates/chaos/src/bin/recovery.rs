@@ -1,0 +1,170 @@
+//! `recovery` — CLI front-end for the crash-recovery chaos harness.
+//!
+//! ```text
+//! recovery [--backend rococo|tiny|htm|lock] [--seed N | --seeds a,b,c]
+//!          [--kill none|pre-append|mid-append|post-append-pre-ack|
+//!                 mid-checkpoint|mid-truncate]
+//!          [--fsync always|everyN|never] [--clients N] [--ops N]
+//!          [--bank-keys N] [--checkpoint-every N]
+//!          [--matrix] [--quiet]
+//! ```
+//!
+//! * default: run the given configuration once per seed;
+//! * `--matrix`: the CI tier — the full kill-point × fsync-mode matrix
+//!   over a fixed seed set and every service-capable backend
+//!   (`ci.sh --recovery` runs this).
+//!
+//! Exits non-zero on any prefix-consistency violation and prints a
+//! ready-to-paste reproducer command for every failing configuration.
+
+use rococo_chaos::driver::BackendKind;
+use rococo_chaos::{
+    recovery_reproducer, recovery_sweep, run_recovery, RecoveryParams, RECOVERY_BACKENDS,
+};
+use rococo_wal::{FsyncPolicy, KillPoint};
+use std::process::ExitCode;
+
+struct Args {
+    params: RecoveryParams,
+    seeds: Vec<u64>,
+    matrix: bool,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: recovery [--backend NAME] [--seed N | --seeds a,b,c] [--kill POINT|none] \
+         [--fsync always|everyN|never] [--clients N] [--ops N] [--bank-keys N] \
+         [--checkpoint-every N] [--matrix] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num(s: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("not a number: {s:?}");
+        usage()
+    })
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        params: RecoveryParams::default(),
+        seeds: Vec::new(),
+        matrix: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let value = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage()
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--backend" => {
+                let v = value(&mut it, "--backend");
+                args.params.backend = BackendKind::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown backend {v:?}");
+                    usage()
+                });
+            }
+            "--seed" => args.seeds = vec![parse_num(&value(&mut it, "--seed"))],
+            "--seeds" => {
+                args.seeds = value(&mut it, "--seeds")
+                    .split(',')
+                    .map(parse_num)
+                    .collect();
+            }
+            "--kill" => {
+                let v = value(&mut it, "--kill");
+                args.params.kill_point = if v == "none" {
+                    None
+                } else {
+                    Some(KillPoint::parse(&v).unwrap_or_else(|| {
+                        eprintln!("unknown kill point {v:?}");
+                        usage()
+                    }))
+                };
+            }
+            "--fsync" => {
+                let v = value(&mut it, "--fsync");
+                args.params.fsync = FsyncPolicy::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown fsync policy {v:?}");
+                    usage()
+                });
+            }
+            "--clients" => args.params.clients = parse_num(&value(&mut it, "--clients")) as usize,
+            "--ops" => {
+                args.params.ops_per_client = parse_num(&value(&mut it, "--ops")) as usize;
+            }
+            "--bank-keys" => args.params.bank_keys = parse_num(&value(&mut it, "--bank-keys")),
+            "--checkpoint-every" => {
+                args.params.checkpoint_every = parse_num(&value(&mut it, "--checkpoint-every"));
+            }
+            "--matrix" => args.matrix = true,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    if args.seeds.is_empty() {
+        args.seeds = vec![args.params.seed];
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut failures: Vec<RecoveryParams> = Vec::new();
+    let mut runs = 0usize;
+    let mut crashes = 0usize;
+
+    let mut handle = |report: rococo_chaos::RecoveryRunReport| {
+        runs += 1;
+        crashes += usize::from(report.crashed);
+        if !args.quiet || !report.ok() {
+            println!("{}", report.summary());
+        }
+        if !report.ok() {
+            for v in &report.violations {
+                println!("  violation: {v}");
+            }
+            failures.push(report.params);
+        }
+    };
+
+    if args.matrix {
+        let base = RecoveryParams {
+            clients: 4,
+            ops_per_client: 150,
+            bank_keys: 8,
+            checkpoint_every: 48,
+            ..RecoveryParams::default()
+        };
+        for r in recovery_sweep(&base, &[1, 9, 23], &RECOVERY_BACKENDS) {
+            handle(r);
+        }
+    } else {
+        for &seed in &args.seeds {
+            handle(run_recovery(&RecoveryParams {
+                seed,
+                ..args.params.clone()
+            }));
+        }
+    }
+
+    if failures.is_empty() {
+        println!("recovery: {runs} runs ({crashes} simulated crashes), all prefix-consistent");
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("recovery: {} of {runs} runs FAILED", failures.len());
+    for params in &failures {
+        eprintln!("  reproduce with: {}", recovery_reproducer(params));
+    }
+    ExitCode::FAILURE
+}

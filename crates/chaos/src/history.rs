@@ -163,11 +163,16 @@ impl<'a, S: TmSystem + 'a> Transaction for ChaosTx<'a, S> {
         }
     }
 
-    fn commit(mut self) -> Result<(), Abort> {
-        match self.inner.take().expect("attempt already settled").commit() {
-            Ok(()) => {
+    fn commit_seq(mut self) -> Result<Option<u64>, Abort> {
+        match self
+            .inner
+            .take()
+            .expect("attempt already settled")
+            .commit_seq()
+        {
+            Ok(seq) => {
                 self.record(Outcome::Committed);
-                Ok(())
+                Ok(seq)
             }
             Err(abort) => {
                 self.record(Outcome::Aborted(abort.kind));

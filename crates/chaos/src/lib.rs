@@ -35,6 +35,7 @@
 pub mod driver;
 pub mod history;
 pub mod oracle;
+pub mod recovery;
 pub mod workload;
 
 pub use driver::{
@@ -43,4 +44,8 @@ pub use driver::{
 };
 pub use history::{ChaosRecorder, Outcome, TxnHistory};
 pub use oracle::{check_history, OracleInput};
+pub use recovery::{
+    recovery_reproducer, recovery_sweep, run_recovery, RecoveryParams, RecoveryRunReport,
+    RECOVERY_BACKENDS,
+};
 pub use workload::{gen_ops, Layout, Op, INITIAL_BALANCE};

@@ -199,6 +199,47 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_empty_is_identity() {
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(4_096); // everything in one bucket
+        }
+        let s = h.snapshot();
+        let empty = HistogramSnapshot::default();
+        // Single-populated-bucket quantiles all collapse to that bucket's
+        // representative value, and merging with an empty snapshot must
+        // change nothing in either direction.
+        assert_eq!(s.p50_ns, s.p999_ns);
+        assert_eq!(s.merged_with(&empty), s);
+        assert_eq!(empty.merged_with(&s), s);
+    }
+
+    #[test]
+    fn extreme_values_do_not_break_the_snapshot() {
+        let h = LatencyHistogram::new();
+        // u64::MAX lands in the clamped top bucket and wraps the relaxed
+        // sum counter; the snapshot must stay well-formed (exact max,
+        // ordered quantiles, no panic) even when the mean is garbage.
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max_ns, u64::MAX);
+        assert!(s.p50_ns <= s.p99_ns && s.p99_ns <= s.p999_ns);
+        assert!(s.p999_ns > 0);
+    }
+
+    #[test]
+    fn quantile_edges_clamp_to_recorded_range() {
+        let h = LatencyHistogram::new();
+        h.record(7); // exact bucket
+        let s = h.snapshot();
+        // One sample: every quantile is that sample.
+        assert_eq!((s.p50_ns, s.p99_ns, s.p999_ns, s.max_ns), (7, 7, 7, 7));
+    }
+
+    #[test]
     fn merge_weights_means() {
         let a = HistogramSnapshot {
             count: 10,

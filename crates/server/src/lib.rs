@@ -29,6 +29,13 @@
 //!   commit/retry/shed counters, abort-cause breakdown (CPU stale read vs
 //!   FPGA cycle vs window overflow vs HTM capacity/fallback), and
 //!   log-bucketed latency histograms with p50/p99/p999.
+//! * [`DurabilityConfig`] — optional write-ahead logging (the
+//!   `rococo-wal` crate): committed write sets are appended to a
+//!   group-commit redo log in serialization order and acknowledged after
+//!   fsync; a checkpoint coordinator periodically quiesces commits,
+//!   snapshots the key table, and truncates the log.
+//!   [`TxKv::recover`] rebuilds the table from the newest checkpoint plus
+//!   the log tail after a crash.
 //!
 //! # Example
 //!
@@ -63,5 +70,5 @@ mod stats;
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use request::{Key, Request, Response, TxKvError};
 pub use retry::RetryPolicy;
-pub use service::{PendingReply, TxKv, TxKvConfig};
+pub use service::{DurabilityConfig, PendingReply, TxKv, TxKvConfig};
 pub use stats::{ShardSnapshot, ShardStats, TxKvReport};

@@ -127,6 +127,15 @@ pub enum TxKvError {
         /// The last abort's cause.
         last: AbortKind,
     },
+    /// The transaction committed in memory but the write-ahead log could
+    /// not acknowledge it (the WAL writer died — simulated crash or I/O
+    /// error). The write may or may not survive a restart; the service
+    /// stops accepting further writes on this log.
+    DurabilityLost,
+    /// The request's transaction panicked inside the backend. The worker
+    /// survived and the shard keeps serving; the request's effects (if
+    /// any) were discarded by the backend's abort path.
+    Internal,
     /// The service is shutting down; the request was not executed.
     ShuttingDown,
     /// The service could not start with the given configuration.
@@ -158,6 +167,13 @@ impl fmt::Display for TxKvError {
                 "transaction still aborting after {attempts} attempts (last cause: {})",
                 last.label()
             ),
+            TxKvError::DurabilityLost => write!(
+                f,
+                "durability lost: the write-ahead log stopped before acknowledging the commit"
+            ),
+            TxKvError::Internal => {
+                write!(f, "internal error: the request's transaction panicked")
+            }
             TxKvError::ShuttingDown => write!(f, "service is shutting down"),
             TxKvError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
         }

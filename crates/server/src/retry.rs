@@ -10,7 +10,7 @@
 //! the same worker thread trip the irrevocable path, so a bounded policy
 //! still converges on hot keys.
 
-use rococo_stm::{try_atomically, Abort, AbortKind, TmSystem};
+use rococo_stm::{try_atomically_seq, Abort, AbortKind, TmSystem};
 use std::time::Duration;
 
 /// Retry policy for one request: bounded attempts with capped
@@ -82,10 +82,34 @@ impl RetryPolicy {
         &self,
         system: &S,
         thread_id: usize,
+        body: F,
+        on_abort: impl FnMut(AbortKind),
+        rng: &mut u64,
+    ) -> Result<(R, u32), (Abort, u32)>
+    where
+        S: TmSystem + ?Sized,
+        F: FnMut(&mut S::Tx<'_>) -> Result<R, Abort>,
+    {
+        self.execute_seq(system, thread_id, body, on_abort, rng)
+            .map(|(r, _, attempts)| (r, attempts))
+    }
+
+    /// Like [`RetryPolicy::execute`] but also reports the committed
+    /// attempt's durable sequence number (`None` for read-only commits),
+    /// so the caller can log the transaction in serialization order. See
+    /// [`rococo_stm::Transaction::commit_seq`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the last [`Abort`] once `max_attempts` is exhausted.
+    pub fn execute_seq<S, R, F>(
+        &self,
+        system: &S,
+        thread_id: usize,
         mut body: F,
         mut on_abort: impl FnMut(AbortKind),
         rng: &mut u64,
-    ) -> Result<(R, u32), (Abort, u32)>
+    ) -> Result<(R, Option<u64>, u32), (Abort, u32)>
     where
         S: TmSystem + ?Sized,
         F: FnMut(&mut S::Tx<'_>) -> Result<R, Abort>,
@@ -93,8 +117,8 @@ impl RetryPolicy {
         let mut attempts = 0u32;
         loop {
             attempts += 1;
-            match try_atomically(system, thread_id, &mut body) {
-                Ok(r) => return Ok((r, attempts)),
+            match try_atomically_seq(system, thread_id, &mut body) {
+                Ok((r, seq)) => return Ok((r, seq, attempts)),
                 Err(abort) => {
                     on_abort(abort.kind);
                     if self.max_attempts != 0 && attempts >= self.max_attempts {
@@ -172,6 +196,58 @@ mod tests {
         let mut a = 1;
         let mut b = 999;
         assert_eq!(p.backoff_ns(3, &mut a), p.backoff_ns(3, &mut b));
+    }
+
+    #[test]
+    fn jitter_is_reproducible_under_a_fixed_seed() {
+        let p = RetryPolicy {
+            max_attempts: 0,
+            base_delay_ns: 1_000,
+            max_delay_ns: 1_000_000,
+            jitter: 0.5,
+        };
+        let seq = |seed: u64| -> Vec<u64> {
+            let mut rng = seed;
+            (1..=20).map(|a| p.backoff_ns(a, &mut rng)).collect()
+        };
+        // Same seed, same delays; a different seed diverges somewhere.
+        assert_eq!(seq(0xDEAD_BEEF), seq(0xDEAD_BEEF));
+        assert_ne!(seq(0xDEAD_BEEF), seq(0xFEED_FACE));
+    }
+
+    #[test]
+    fn backoff_degenerate_configs_are_safe() {
+        // Zero base: never sleeps, never divides by zero in the jitter
+        // band computation.
+        let p = RetryPolicy {
+            max_attempts: 0,
+            base_delay_ns: 0,
+            max_delay_ns: 1_000,
+            jitter: 1.0,
+        };
+        let mut rng = 3;
+        assert_eq!(p.backoff_ns(1, &mut rng), 0);
+        assert_eq!(p.backoff_ns(40, &mut rng), 0);
+        // Out-of-range jitter clamps instead of producing negative or
+        // amplified delays.
+        let p = RetryPolicy {
+            max_attempts: 0,
+            base_delay_ns: 100,
+            max_delay_ns: 100,
+            jitter: 7.5,
+        };
+        for _ in 0..32 {
+            assert!(p.backoff_ns(1, &mut rng) <= 100);
+        }
+        // Saturating shift: huge attempt numbers cap at max_delay_ns
+        // rather than overflowing the 1 << exp.
+        let p = RetryPolicy {
+            max_attempts: 0,
+            base_delay_ns: u64::MAX / 2,
+            max_delay_ns: u64::MAX,
+            jitter: 0.0,
+        };
+        assert_eq!(p.backoff_ns(u32::MAX, &mut rng), u64::MAX);
     }
 
     #[test]

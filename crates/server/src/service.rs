@@ -1,18 +1,52 @@
 //! The TxKV service front-end: configuration, admission, routing,
-//! lifecycle.
+//! lifecycle, and (in durable mode) recovery and checkpointing.
 
 use crate::request::{Request, Response, TxKvError};
 use crate::retry::RetryPolicy;
-use crate::shard::{run_worker, Job};
+use crate::shard::{run_worker, Job, WorkerCtx, WorkerWal};
 use crate::stats::{ShardSnapshot, ShardStats, TxKvReport};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::RwLock;
 use rococo_stm::{Addr, TmSystem};
+use rococo_wal::{FsyncPolicy, KillSwitch, RecoveryReport, Wal, WalConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Durable-mode configuration: where the write-ahead log lives and how
+/// it acknowledges.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory for the log and checkpoint files (created if missing).
+    pub dir: PathBuf,
+    /// When an append is acknowledged relative to fsync (see
+    /// [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// Checkpoint (snapshot + log truncation) after this many logged
+    /// transactions; `0` disables automatic checkpoints
+    /// ([`TxKv::checkpoint`] still works).
+    pub checkpoint_every: u64,
+    /// Armed crash point for chaos testing; `None` in production.
+    pub kill: Option<Arc<KillSwitch>>,
+}
+
+impl DurabilityConfig {
+    /// Durable defaults for `dir`: fsync-per-batch, checkpoint every
+    /// 100k transactions.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: 100_000,
+            kill: None,
+        }
+    }
+}
 
 /// Service configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TxKvConfig {
     /// Number of shards (request queues). Requests are hash-routed by
     /// primary key; sharding partitions the queueing and the statistics,
@@ -30,6 +64,18 @@ pub struct TxKvConfig {
     pub keys: u64,
     /// Retry policy applied to every request.
     pub retry: RetryPolicy,
+    /// Write-ahead logging; `None` runs the service in memory (a crash
+    /// loses everything, as before this field existed).
+    pub durability: Option<DurabilityConfig>,
+}
+
+impl PartialEq for DurabilityConfig {
+    fn eq(&self, other: &Self) -> bool {
+        // KillSwitch carries no identity worth comparing.
+        self.dir == other.dir
+            && self.fsync == other.fsync
+            && self.checkpoint_every == other.checkpoint_every
+    }
 }
 
 impl Default for TxKvConfig {
@@ -40,6 +86,7 @@ impl Default for TxKvConfig {
             queue_capacity: 128,
             keys: 1 << 16,
             retry: RetryPolicy::default(),
+            durability: None,
         }
     }
 }
@@ -94,17 +141,45 @@ pub struct TxKv<S: TmSystem + 'static> {
     stats: Vec<Arc<ShardStats>>,
     workers: Vec<JoinHandle<()>>,
     started: Instant,
+    /// Durable-mode state: the WAL opener handle (joins the writer on
+    /// drop) and the commit pause gate the checkpoint coordinator uses
+    /// to quiesce.
+    wal: Option<Wal>,
+    pause: Arc<RwLock<()>>,
+    ckpt_stop: Arc<AtomicBool>,
+    ckpt_thread: Option<JoinHandle<()>>,
+    /// WAL counters captured at shutdown, so the final report still
+    /// carries them after the writer has been joined.
+    final_wal: Option<rococo_wal::WalSnapshot>,
 }
 
 impl<S: TmSystem + 'static> TxKv<S> {
     /// Starts the service: allocates the key table on the backend's heap
-    /// and spawns `shards * workers_per_shard` worker threads.
+    /// and spawns `shards * workers_per_shard` worker threads. With
+    /// `cfg.durability` set this also recovers the WAL directory first —
+    /// [`TxKv::recover`] is the same call but hands back the recovery
+    /// report.
     ///
     /// # Errors
     ///
-    /// Returns [`TxKvError::InvalidConfig`] for a zero-sized pool or a
-    /// heap too small for the key table.
+    /// Returns [`TxKvError::InvalidConfig`] for a zero-sized pool, a
+    /// heap too small for the key table, a backend that has already run
+    /// transactions (recovery must rebuild onto a fresh heap), or a WAL
+    /// directory that cannot be opened.
     pub fn start(system: Arc<S>, cfg: TxKvConfig) -> Result<Self, TxKvError> {
+        Self::recover(system, cfg).map(|(kv, _)| kv)
+    }
+
+    /// Starts the service, recovering durable state when
+    /// `cfg.durability` is set: loads the newest valid checkpoint,
+    /// replays the log tail in commit order (torn tail truncated), seeds
+    /// the key table, and resumes logging where the disk left off. The
+    /// report says what recovery found; without durability it is empty.
+    ///
+    /// # Errors
+    ///
+    /// As [`TxKv::start`].
+    pub fn recover(system: Arc<S>, cfg: TxKvConfig) -> Result<(Self, RecoveryReport), TxKvError> {
         if cfg.shards == 0 || cfg.workers_per_shard == 0 {
             return Err(TxKvError::InvalidConfig {
                 reason: "shards and workers_per_shard must be at least 1",
@@ -129,6 +204,52 @@ impl<S: TmSystem + 'static> TxKv<S> {
         }
         let table: Addr = heap.alloc(cfg.keys as usize);
 
+        // Durable mode: recover the directory and seed the table before
+        // any worker can run a transaction.
+        let mut wal = None;
+        let mut base_seq = 0u64;
+        let mut report = RecoveryReport::default();
+        if let Some(dur) = &cfg.durability {
+            // The durable sequence must restart at 0 for the rebased
+            // on-disk sequence (base + tm_seq) to stay dense — a backend
+            // that already committed transactions has burnt sequence
+            // numbers we never logged.
+            if system.stats().snapshot().commits > 0 {
+                return Err(TxKvError::InvalidConfig {
+                    reason: "durable recovery requires a freshly constructed backend",
+                });
+            }
+            let wal_cfg = WalConfig {
+                dir: dur.dir.clone(),
+                fsync: dur.fsync,
+                kill: dur.kill.clone(),
+            };
+            let (w, recovered) = Wal::open(wal_cfg).map_err(|_| TxKvError::InvalidConfig {
+                reason: "could not open the WAL directory",
+            })?;
+            if recovered.values.len() > cfg.keys as usize {
+                return Err(TxKvError::InvalidConfig {
+                    reason: "checkpoint holds more keys than the configured keyspace",
+                });
+            }
+            // Checkpoint image first, then the replayed log tail: direct
+            // stores are safe here because no transactions run yet.
+            for (k, &v) in recovered.values.iter().enumerate() {
+                heap.store_direct(table + k, v);
+            }
+            for rec in &recovered.records {
+                for &(k, v) in &rec.writes {
+                    if k < cfg.keys {
+                        heap.store_direct(table + k as Addr, v);
+                    }
+                }
+            }
+            base_seq = recovered.next_seq;
+            report = recovered.report;
+            wal = Some(w);
+        }
+
+        let pause = Arc::new(RwLock::new(()));
         let mut senders = Vec::with_capacity(cfg.shards);
         let mut stats = Vec::with_capacity(cfg.shards);
         let mut workers = Vec::with_capacity(cfg.worker_threads());
@@ -136,29 +257,113 @@ impl<S: TmSystem + 'static> TxKv<S> {
             let (tx, rx) = bounded::<Job>(cfg.queue_capacity);
             let shard_stats = Arc::new(ShardStats::new());
             for w in 0..cfg.workers_per_shard {
-                let thread_id = shard * cfg.workers_per_shard + w;
-                let system = Arc::clone(&system);
-                let stats = Arc::clone(&shard_stats);
-                let rx = rx.clone();
-                let policy = cfg.retry;
+                let ctx = WorkerCtx {
+                    system: Arc::clone(&system),
+                    table,
+                    thread_id: shard * cfg.workers_per_shard + w,
+                    policy: cfg.retry,
+                    stats: Arc::clone(&shard_stats),
+                    rx: rx.clone(),
+                    pause: Arc::clone(&pause),
+                    wal: wal.as_ref().map(|w| WorkerWal {
+                        wal: w.client(),
+                        base_seq,
+                    }),
+                };
                 let handle = std::thread::Builder::new()
                     .name(format!("txkv-{shard}-{w}"))
-                    .spawn(move || run_worker(system, table, thread_id, policy, stats, rx))
+                    .spawn(move || run_worker(ctx))
                     .expect("failed to spawn txkv worker");
                 workers.push(handle);
             }
             senders.push(tx);
             stats.push(shard_stats);
         }
-        Ok(Self {
-            system,
-            cfg,
-            table,
-            senders,
-            stats,
-            workers,
-            started: Instant::now(),
-        })
+
+        // The checkpoint coordinator: quiesce, snapshot, truncate.
+        let ckpt_stop = Arc::new(AtomicBool::new(false));
+        let mut ckpt_thread = None;
+        if let (Some(w), Some(dur)) = (&wal, &cfg.durability) {
+            if dur.checkpoint_every > 0 {
+                let every = dur.checkpoint_every;
+                let wal = w.client();
+                let system = Arc::clone(&system);
+                let pause = Arc::clone(&pause);
+                let stop = Arc::clone(&ckpt_stop);
+                let keys = cfg.keys;
+                ckpt_thread = Some(
+                    std::thread::Builder::new()
+                        .name("txkv-ckpt".into())
+                        .spawn(move || {
+                            let mut last = 0u64;
+                            while !stop.load(Ordering::SeqCst) {
+                                std::thread::sleep(Duration::from_millis(2));
+                                let acked = wal.stats().acked_records;
+                                if acked.saturating_sub(last) < every || wal.is_dead() {
+                                    continue;
+                                }
+                                // Write-lock the pause gate: every
+                                // in-flight job finishes (including its
+                                // WAL ack), so no sequence number is
+                                // fetched but unlogged while we snapshot.
+                                let quiesced = pause.write();
+                                let heap = system.heap();
+                                let values: Vec<u64> = (0..keys as usize)
+                                    .map(|k| heap.load_direct(table + k))
+                                    .collect();
+                                let _ = wal.checkpoint(values);
+                                drop(quiesced);
+                                last = wal.stats().acked_records;
+                            }
+                        })
+                        .expect("failed to spawn txkv checkpoint coordinator"),
+                );
+            }
+        }
+
+        Ok((
+            Self {
+                system,
+                cfg,
+                table,
+                senders,
+                stats,
+                workers,
+                started: Instant::now(),
+                wal,
+                pause,
+                ckpt_stop,
+                ckpt_thread,
+                final_wal: None,
+            },
+            report,
+        ))
+    }
+
+    /// Takes a checkpoint now (durable mode): quiesces commits, writes a
+    /// snapshot of the key table, and truncates the log. Returns the
+    /// sequence number the checkpoint covers up to.
+    ///
+    /// # Errors
+    ///
+    /// [`TxKvError::InvalidConfig`] when the service is not durable;
+    /// [`TxKvError::DurabilityLost`] when the WAL writer has died.
+    pub fn checkpoint(&self) -> Result<u64, TxKvError> {
+        let Some(wal) = &self.wal else {
+            return Err(TxKvError::InvalidConfig {
+                reason: "checkpoint requires durability to be configured",
+            });
+        };
+        let quiesced = self.pause.write();
+        let heap = self.system.heap();
+        let values: Vec<u64> = (0..self.cfg.keys as usize)
+            .map(|k| heap.load_direct(self.table + k))
+            .collect();
+        let covered = wal
+            .checkpoint(values)
+            .map_err(|_| TxKvError::DurabilityLost);
+        drop(quiesced);
+        covered
     }
 
     /// The backend this service runs on.
@@ -260,9 +465,20 @@ impl<S: TmSystem + 'static> TxKv<S> {
     }
 
     fn stop_and_join(&mut self) {
+        // Shutdown order matters in durable mode: the checkpoint
+        // coordinator and the workers each hold a WAL client, and the
+        // writer thread only exits once every client's sender is gone —
+        // so stop those threads before dropping the opener handle.
+        self.ckpt_stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.ckpt_thread.take() {
+            let _ = h.join();
+        }
         self.senders.clear(); // workers' recv() errors out once queues drain
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        if let Some(w) = self.wal.take() {
+            self.final_wal = Some(w.shutdown());
         }
     }
 
@@ -277,6 +493,11 @@ impl<S: TmSystem + 'static> TxKv<S> {
             per_shard,
             aggregate,
             injected_faults: self.system.injected_faults(),
+            wal: self
+                .wal
+                .as_ref()
+                .map(|w| w.stats())
+                .or_else(|| self.final_wal.clone()),
             elapsed: self.started.elapsed(),
         }
     }
@@ -348,9 +569,134 @@ mod tests {
             );
             assert_eq!(kv.shutdown().aggregate.committed, 2);
         }
-        smoke(Arc::new(TinyStm::with_config(tm_cfg)), cfg);
-        smoke(Arc::new(TsxHtm::with_config(tm_cfg)), cfg);
+        smoke(Arc::new(TinyStm::with_config(tm_cfg)), cfg.clone());
+        smoke(Arc::new(TsxHtm::with_config(tm_cfg)), cfg.clone());
         smoke(Arc::new(RococoTm::with_config(tm_cfg)), cfg);
+    }
+
+    fn durable_cfg(dir: std::path::PathBuf, checkpoint_every: u64) -> TxKvConfig {
+        TxKvConfig {
+            shards: 2,
+            workers_per_shard: 2,
+            keys: 64,
+            durability: Some(DurabilityConfig {
+                dir,
+                fsync: FsyncPolicy::Always,
+                checkpoint_every,
+                kill: None,
+            }),
+            ..TxKvConfig::default()
+        }
+    }
+
+    #[test]
+    fn durable_writes_survive_restart() {
+        let dir = rococo_wal::scratch_dir("svc-restart");
+        let cfg = durable_cfg(dir.clone(), 0);
+        {
+            let kv = TxKv::start(tiny(&cfg), cfg.clone()).unwrap();
+            for k in 0..20 {
+                kv.call(Request::Put {
+                    key: k,
+                    value: k + 100,
+                })
+                .unwrap();
+            }
+            kv.call(Request::Transfer {
+                from: 3,
+                to: 4,
+                amount: 50,
+            })
+            .unwrap();
+            let report = kv.shutdown();
+            let wal = report.wal.expect("durable service reports WAL stats");
+            // 20 puts + 1 transfer, all update transactions.
+            assert_eq!(wal.acked_records, 21);
+        }
+        let (kv, report) = TxKv::recover(tiny(&cfg), cfg).unwrap();
+        assert_eq!(report.replayed, 21);
+        assert_eq!(report.checkpoint_seq, None);
+        assert_eq!(
+            kv.call(Request::Get { key: 3 }).unwrap(),
+            Response::Value(53)
+        );
+        assert_eq!(
+            kv.call(Request::Get { key: 4 }).unwrap(),
+            Response::Value(154)
+        );
+        assert_eq!(
+            kv.call(Request::Get { key: 19 }).unwrap(),
+            Response::Value(119)
+        );
+        drop(kv);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn automatic_checkpoint_truncates_and_recovers() {
+        let dir = rococo_wal::scratch_dir("svc-ckpt");
+        let cfg = durable_cfg(dir.clone(), 8);
+        {
+            let kv = TxKv::start(tiny(&cfg), cfg.clone()).unwrap();
+            for k in 0..32 {
+                kv.call(Request::Put {
+                    key: k,
+                    value: k * 2,
+                })
+                .unwrap();
+            }
+            // Give the coordinator a beat to notice the threshold.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while kv.report().wal.unwrap().checkpoints == 0 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let report = kv.shutdown();
+            assert!(
+                report.wal.unwrap().checkpoints >= 1,
+                "coordinator never checkpointed"
+            );
+        }
+        let (kv, report) = TxKv::recover(tiny(&cfg), cfg).unwrap();
+        assert!(report.checkpoint_seq.is_some(), "{report:?}");
+        for k in 0..32 {
+            assert_eq!(
+                kv.call(Request::Get { key: k }).unwrap(),
+                Response::Value(k * 2)
+            );
+        }
+        drop(kv);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manual_checkpoint_requires_durability() {
+        let cfg = TxKvConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            keys: 16,
+            ..TxKvConfig::default()
+        };
+        let kv = TxKv::start(tiny(&cfg), cfg).unwrap();
+        assert!(matches!(
+            kv.checkpoint(),
+            Err(TxKvError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn durable_start_rejects_used_backend() {
+        let dir = rococo_wal::scratch_dir("svc-used");
+        let cfg = durable_cfg(dir.clone(), 0);
+        let tm = tiny(&cfg);
+        // Burn a sequence number outside the service.
+        use rococo_stm::Transaction;
+        let addr = tm.heap().alloc(1);
+        rococo_stm::atomically(&*tm, 0, |tx| tx.write(addr, 1));
+        assert!(matches!(
+            TxKv::start(tm, cfg),
+            Err(TxKvError::InvalidConfig { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

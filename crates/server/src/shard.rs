@@ -5,7 +5,10 @@ use crate::request::{Request, Response, TxKvError};
 use crate::retry::RetryPolicy;
 use crate::stats::ShardStats;
 use crossbeam::channel::{Receiver, Sender};
+use parking_lot::RwLock;
 use rococo_stm::{Abort, Addr, TmSystem, Transaction};
+use rococo_wal::Wal;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
@@ -17,20 +20,38 @@ pub(crate) struct Job {
     pub(crate) reply: Sender<Result<Response, TxKvError>>,
 }
 
-/// Runs one request body inside an open transaction. Shared by every
-/// retry attempt; all writes are buffered until commit, so re-execution
-/// after an abort is safe.
-fn apply<T: Transaction>(tx: &mut T, table: Addr, req: &Request) -> Result<Response, Abort> {
+/// The durable half of a worker's context: the WAL client it appends
+/// committed write sets to, plus the rebasing offset (on-disk sequence =
+/// `base_seq` + the backend's in-memory sequence, which restarts at 0
+/// after recovery).
+pub(crate) struct WorkerWal {
+    pub(crate) wal: Wal,
+    pub(crate) base_seq: u64,
+}
+
+/// Runs one request body inside an open transaction, recording the
+/// key-space write set into `writes` (cleared first — each retry attempt
+/// starts fresh). Shared by every retry attempt; all writes are buffered
+/// until commit, so re-execution after an abort is safe.
+fn apply<T: Transaction>(
+    tx: &mut T,
+    table: Addr,
+    req: &Request,
+    writes: &mut Vec<(u64, u64)>,
+) -> Result<Response, Abort> {
+    writes.clear();
     let addr = |key: u64| table + key as Addr;
     match req {
         Request::Get { key } => Ok(Response::Value(tx.read(addr(*key))?)),
         Request::Put { key, value } => {
             tx.write(addr(*key), *value)?;
+            writes.push((*key, *value));
             Ok(Response::Done)
         }
         Request::Add { key, delta } => {
             let new = tx.read(addr(*key))?.wrapping_add(*delta);
             tx.write(addr(*key), new)?;
+            writes.push((*key, new));
             Ok(Response::Value(new))
         }
         Request::Transfer { from, to, amount } => {
@@ -45,6 +66,8 @@ fn apply<T: Transaction>(tx: &mut T, table: Addr, req: &Request) -> Result<Respo
                 let dst = tx.read(addr(*to))?;
                 tx.write(addr(*from), src - amount)?;
                 tx.write(addr(*to), dst.wrapping_add(*amount))?;
+                writes.push((*from, src - amount));
+                writes.push((*to, dst.wrapping_add(*amount)));
             }
             Ok(Response::Transferred(true))
         }
@@ -58,36 +81,84 @@ fn apply<T: Transaction>(tx: &mut T, table: Addr, req: &Request) -> Result<Respo
     }
 }
 
+/// Everything one worker thread needs: the backend, the key table, its
+/// retry/statistics context, the shard queue, the checkpoint pause gate,
+/// and (in durable mode) its WAL client.
+pub(crate) struct WorkerCtx<S: TmSystem + ?Sized> {
+    pub(crate) system: Arc<S>,
+    pub(crate) table: Addr,
+    pub(crate) thread_id: usize,
+    pub(crate) policy: RetryPolicy,
+    pub(crate) stats: Arc<ShardStats>,
+    pub(crate) rx: Receiver<Job>,
+    pub(crate) pause: Arc<RwLock<()>>,
+    pub(crate) wal: Option<WorkerWal>,
+}
+
 /// The worker loop: drain the shard queue until every sender is dropped
 /// (service shutdown), executing each job with the retry policy and
 /// recording per-shard statistics.
-pub(crate) fn run_worker<S: TmSystem + ?Sized>(
-    system: Arc<S>,
-    table: Addr,
-    thread_id: usize,
-    policy: RetryPolicy,
-    stats: Arc<ShardStats>,
-    rx: Receiver<Job>,
-) {
+///
+/// Each job runs under a read lock on `pause`, held across both the
+/// transaction and the WAL-ack wait — the checkpoint coordinator takes
+/// the write lock to quiesce commits, so while it holds it there is no
+/// fetched-but-unlogged sequence number anywhere.
+///
+/// A panicking backend does not kill the worker: the panic is caught,
+/// reported as [`TxKvError::Internal`], and counted, so the shard queue
+/// keeps draining (a wedged queue would hang every client of the shard).
+pub(crate) fn run_worker<S: TmSystem + ?Sized>(ctx: WorkerCtx<S>) {
+    let WorkerCtx {
+        system,
+        table,
+        thread_id,
+        policy,
+        stats,
+        rx,
+        pause,
+        wal,
+    } = ctx;
     // Per-worker jitter state; any distinct nonzero seed works.
     let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ ((thread_id as u64 + 1) << 17);
+    let mut writes: Vec<(u64, u64)> = Vec::new();
     while let Ok(job) = rx.recv() {
-        let result = policy.execute(
-            &*system,
-            thread_id,
-            |tx| apply(tx, table, &job.req),
-            |kind| stats.record_abort(kind),
-            &mut rng,
-        );
+        let pause_guard = pause.read();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            policy.execute_seq(
+                &*system,
+                thread_id,
+                |tx| apply(tx, table, &job.req, &mut writes),
+                |kind| stats.record_abort(kind),
+                &mut rng,
+            )
+        }));
         let reply = match result {
-            Ok((resp, attempts)) => {
-                stats.committed.fetch_add(1, Ordering::Relaxed);
+            Ok(Ok((resp, seq, attempts))) => {
                 stats
                     .retries
                     .fetch_add(u64::from(attempts - 1), Ordering::Relaxed);
-                Ok(resp)
+                // Log the committed write set before acking. Read-only
+                // commits (seq None) have nothing to make durable.
+                let durable = match (&wal, seq) {
+                    (Some(w), Some(seq)) => {
+                        // Hand the write set over; `apply` rebuilds it
+                        // from scratch on the next job anyway.
+                        w.wal.append(w.base_seq + seq, std::mem::take(&mut writes))
+                    }
+                    _ => Ok(()),
+                };
+                match durable {
+                    Ok(()) => {
+                        stats.committed.fetch_add(1, Ordering::Relaxed);
+                        Ok(resp)
+                    }
+                    Err(_) => {
+                        stats.durability_lost.fetch_add(1, Ordering::Relaxed);
+                        Err(TxKvError::DurabilityLost)
+                    }
+                }
             }
-            Err((abort, attempts)) => {
+            Ok(Err((abort, attempts))) => {
                 stats.failed.fetch_add(1, Ordering::Relaxed);
                 stats
                     .retries
@@ -97,7 +168,13 @@ pub(crate) fn run_worker<S: TmSystem + ?Sized>(
                     last: abort.kind,
                 })
             }
+            Err(_panic) => {
+                stats.panics.fetch_add(1, Ordering::Relaxed);
+                stats.failed.fetch_add(1, Ordering::Relaxed);
+                Err(TxKvError::Internal)
+            }
         };
+        drop(pause_guard);
         stats
             .latency
             .record(job.enqueued_at.elapsed().as_nanos() as u64);
@@ -121,8 +198,15 @@ mod tests {
         (tm, table)
     }
 
+    fn run_with_writes(tm: &TinyStm, table: Addr, req: Request) -> (Response, Vec<(u64, u64)>) {
+        let mut writes = Vec::new();
+        let resp = try_atomically(tm, 0, &mut |tx| apply(tx, table, &req, &mut writes))
+            .expect("request transaction aborted");
+        (resp, writes)
+    }
+
     fn run(tm: &TinyStm, table: Addr, req: Request) -> Response {
-        try_atomically(tm, 0, &mut |tx| apply(tx, table, &req)).unwrap()
+        run_with_writes(tm, table, req).0
     }
 
     #[test]
@@ -153,6 +237,50 @@ mod tests {
             run(&tm, t, Request::MultiGet { keys: vec![3, 4] }),
             Response::Values(vec![9, 6])
         );
+    }
+
+    #[test]
+    fn apply_collects_the_write_set() {
+        let (tm, t) = tm();
+        let (_, w) = run_with_writes(&tm, t, Request::Put { key: 7, value: 3 });
+        assert_eq!(w, vec![(7, 3)]);
+        let (_, w) = run_with_writes(&tm, t, Request::Add { key: 7, delta: 2 });
+        assert_eq!(w, vec![(7, 5)]);
+        let (_, w) = run_with_writes(
+            &tm,
+            t,
+            Request::Transfer {
+                from: 7,
+                to: 8,
+                amount: 4,
+            },
+        );
+        assert_eq!(w, vec![(7, 1), (8, 4)]);
+        // Reads and declined transfers write nothing.
+        let (_, w) = run_with_writes(&tm, t, Request::Get { key: 7 });
+        assert!(w.is_empty());
+        let (resp, w) = run_with_writes(
+            &tm,
+            t,
+            Request::Transfer {
+                from: 7,
+                to: 8,
+                amount: 999,
+            },
+        );
+        assert_eq!(resp, Response::Transferred(false));
+        assert!(w.is_empty());
+        // Self-transfer commits but moves nothing.
+        let (_, w) = run_with_writes(
+            &tm,
+            t,
+            Request::Transfer {
+                from: 8,
+                to: 8,
+                amount: 1,
+            },
+        );
+        assert!(w.is_empty());
     }
 
     #[test]

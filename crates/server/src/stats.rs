@@ -21,6 +21,12 @@ pub struct ShardStats {
     pub(crate) failed: AtomicU64,
     /// Extra attempts beyond the first, across all requests.
     pub(crate) retries: AtomicU64,
+    /// Requests whose transaction committed in memory but whose WAL
+    /// append was never acknowledged (writer died).
+    pub(crate) durability_lost: AtomicU64,
+    /// Requests whose transaction panicked inside the backend (the
+    /// worker caught it and kept serving).
+    pub(crate) panics: AtomicU64,
     /// Aborts by cause, indexed by [`AbortKind::index`].
     pub(crate) aborts: [AtomicU64; AbortKind::COUNT],
     /// Request latency from enqueue to reply (includes queue wait).
@@ -60,6 +66,8 @@ impl ShardStats {
             committed: self.committed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
+            durability_lost: self.durability_lost.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
             aborts,
             latency: self.latency.snapshot(),
         }
@@ -80,6 +88,11 @@ pub struct ShardSnapshot {
     pub failed: u64,
     /// Extra attempts beyond the first, across all requests.
     pub retries: u64,
+    /// Requests that committed in memory but were never acknowledged by
+    /// the write-ahead log (writer died).
+    pub durability_lost: u64,
+    /// Requests whose transaction panicked inside the backend.
+    pub panics: u64,
     /// Aborts by cause, indexed by [`AbortKind::index`].
     pub aborts: [u64; AbortKind::COUNT],
     /// Request latency from enqueue to reply.
@@ -109,6 +122,8 @@ impl ShardSnapshot {
         self.committed += other.committed;
         self.failed += other.failed;
         self.retries += other.retries;
+        self.durability_lost += other.durability_lost;
+        self.panics += other.panics;
         for (dst, src) in self.aborts.iter_mut().zip(other.aborts.iter()) {
             *dst += src;
         }
@@ -134,6 +149,10 @@ pub struct TxKvReport {
     /// [`TmSystem::injected_faults`](rococo_stm::TmSystem::injected_faults)).
     /// `None` for backends without an injection layer.
     pub injected_faults: Option<rococo_fpga::FaultSnapshot>,
+    /// Write-ahead-log counters, when the service runs in durable mode
+    /// (fsync latency and group-commit batch-size distributions live
+    /// here). `None` for in-memory services.
+    pub wal: Option<rococo_wal::WalSnapshot>,
     /// Wall-clock time the service has been (or was) running.
     pub elapsed: Duration,
 }
@@ -203,6 +222,21 @@ impl fmt::Display for TxKvReport {
                 )?;
             }
         }
+        if let Some(w) = &self.wal {
+            writeln!(
+                f,
+                "  wal: {} records in {} batches (mean batch {:.1}, p99<={}), \
+                 {} fsyncs (p99<={}), {} checkpoints, {} lost",
+                w.acked_records,
+                w.batches,
+                w.mean_batch(),
+                w.batch_sizes.quantile_upper(0.99),
+                w.fsyncs,
+                fmt_ns(w.fsync_ns.quantile_upper(0.99)),
+                w.checkpoints,
+                a.durability_lost,
+            )?;
+        }
         for (i, s) in self.per_shard.iter().enumerate() {
             writeln!(
                 f,
@@ -269,6 +303,7 @@ mod tests {
                 ..Default::default()
             },
             injected_faults: None,
+            wal: None,
             elapsed: Duration::from_secs(2),
         };
         report.aggregate.latency.p99_ns = 1_500;

@@ -141,6 +141,25 @@ pub trait Transaction {
     /// no longer commit.
     fn write(&mut self, addr: Addr, val: Word) -> Result<(), Abort>;
 
+    /// Attempts to commit, consuming the transaction and reporting the
+    /// transaction's **durable sequence number**: a dense counter
+    /// (`0, 1, 2, ...` per system) fetched *inside* the commit critical
+    /// section, so that sequence order is consistent with serialization
+    /// order for every dependent pair of transactions. Read-only commits
+    /// return `Ok(None)` — they change nothing and need no log record.
+    ///
+    /// The durability layer writes committed transactions to its redo
+    /// log in this order; density is what lets crash recovery prove the
+    /// log has no holes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if validation fails; all buffered writes are
+    /// discarded.
+    fn commit_seq(self) -> Result<Option<u64>, Abort>
+    where
+        Self: Sized;
+
     /// Attempts to commit, consuming the transaction.
     ///
     /// # Errors
@@ -149,7 +168,10 @@ pub trait Transaction {
     /// discarded.
     fn commit(self) -> Result<(), Abort>
     where
-        Self: Sized;
+        Self: Sized,
+    {
+        self.commit_seq().map(|_| ())
+    }
 }
 
 /// A transactional-memory runtime.
@@ -233,13 +255,33 @@ where
     S: TmSystem + ?Sized,
     F: FnMut(&mut S::Tx<'_>) -> Result<R, Abort>,
 {
+    try_atomically_seq(system, thread_id, body).map(|(r, _)| r)
+}
+
+/// Like [`try_atomically`] but also reports the commit's durable
+/// sequence number (`None` for read-only commits) — the hook the
+/// durability layer uses to log committed transactions in serialization
+/// order. See [`Transaction::commit_seq`].
+///
+/// # Errors
+///
+/// Returns the [`Abort`] if either the closure or the commit aborts.
+pub fn try_atomically_seq<S, R, F>(
+    system: &S,
+    thread_id: usize,
+    body: &mut F,
+) -> Result<(R, Option<u64>), Abort>
+where
+    S: TmSystem + ?Sized,
+    F: FnMut(&mut S::Tx<'_>) -> Result<R, Abort>,
+{
     system.stats().starts.fetch_add(1, Ordering::Relaxed);
     let mut tx = system.begin(thread_id);
     match body(&mut tx) {
-        Ok(r) => match tx.commit() {
-            Ok(()) => {
+        Ok(r) => match tx.commit_seq() {
+            Ok(seq) => {
                 system.stats().commits.fetch_add(1, Ordering::Relaxed);
-                Ok(r)
+                Ok((r, seq))
             }
             Err(abort) => {
                 system.stats().record_abort(abort.kind);

@@ -74,6 +74,12 @@ pub struct TsxHtm {
     attempts: Vec<AtomicU32>,
     fallback_lock: Mutex<()>,
     fallback_active: AtomicBool,
+    /// Dense durable sequence counter. Hardware commits fetch it after
+    /// the final doom check (their point of no return, with every written
+    /// line still claimed); fallback commits fetch it under the fallback
+    /// lock, which has already doomed and drained all hardware
+    /// transactions.
+    durable_seq: AtomicU64,
 }
 
 impl TsxHtm {
@@ -117,6 +123,7 @@ impl TsxHtm {
             attempts: (0..config.max_threads).map(|_| AtomicU32::new(0)).collect(),
             fallback_lock: Mutex::new(()),
             fallback_active: AtomicBool::new(false),
+            durable_seq: AtomicU64::new(0),
         }
     }
 
@@ -303,9 +310,16 @@ impl Transaction for HtmTx<'_> {
         Ok(())
     }
 
-    fn commit(self) -> Result<(), Abort> {
+    fn commit_seq(self) -> Result<Option<u64>, Abort> {
         match &self.mode {
             TxMode::Fallback(_) => {
+                // The fallback lock serialises against every other commit,
+                // so any fetch point inside it preserves sequence order.
+                let seq = if self.redo.is_empty() {
+                    None
+                } else {
+                    Some(self.tm.durable_seq.fetch_add(1, Ordering::SeqCst))
+                };
                 for (&a, &v) in &self.redo {
                     self.tm.heap.store_direct(a, v);
                 }
@@ -315,7 +329,7 @@ impl Transaction for HtmTx<'_> {
                     .stats
                     .fallback_commits
                     .fetch_add(1, Ordering::Relaxed);
-                Ok(())
+                Ok(seq)
             }
             TxMode::Hw => {
                 if self.tm.fallback_active.load(Ordering::SeqCst) {
@@ -328,6 +342,15 @@ impl Transaction for HtmTx<'_> {
                     self.tm.committing[self.thread].store(false, Ordering::SeqCst);
                     return Err(self.hw_abort(AbortKind::Conflict));
                 }
+                // Past the doom check we cannot abort, and every written
+                // line is still claimed: nobody who depends on our writes
+                // can commit before we release, so the sequence respects
+                // read-from and write-write order.
+                let seq = if self.redo.is_empty() {
+                    None
+                } else {
+                    Some(self.tm.durable_seq.fetch_add(1, Ordering::SeqCst))
+                };
                 for (&a, &v) in &self.redo {
                     self.tm.heap.store_direct(a, v);
                 }
@@ -341,7 +364,7 @@ impl Transaction for HtmTx<'_> {
                         .read_only_commits
                         .fetch_add(1, Ordering::Relaxed);
                 }
-                Ok(())
+                Ok(seq)
             }
         }
     }
@@ -536,6 +559,47 @@ mod tests {
             snap.fallback_commits < 100,
             "disjoint work should rarely fall back: {snap:?}"
         );
+    }
+
+    #[test]
+    fn durable_seqs_are_dense_and_ordered_with_values() {
+        // As for TinySTM: on a contended counter, seqs must form a dense
+        // range whose order matches the value order — across both the
+        // hardware and fallback commit paths.
+        use crate::api::try_atomically_seq;
+        use parking_lot::Mutex;
+        let tm = Arc::new(tm(1 << 12, 4));
+        let seen: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut joins = Vec::new();
+        for t in 0..4usize {
+            let tm = tm.clone();
+            let seen = seen.clone();
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    loop {
+                        let res = try_atomically_seq(&*tm, t, &mut |tx: &mut HtmTx<'_>| {
+                            let v = tx.read(0)?;
+                            tx.write(0, v + 1)?;
+                            Ok(v + 1)
+                        });
+                        if let Ok((new_val, seq)) = res {
+                            seen.lock().push((seq.expect("update commit"), new_val));
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let mut seen = Arc::try_unwrap(seen).unwrap().into_inner();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 2000);
+        for (i, &(seq, val)) in seen.iter().enumerate() {
+            assert_eq!(seq, i as u64, "dense sequence");
+            assert_eq!(val, i as u64 + 1, "seq order == serialization order");
+        }
     }
 
     #[test]

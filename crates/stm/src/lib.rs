@@ -46,8 +46,8 @@ mod seq;
 mod tinystm;
 
 pub use api::{
-    atomically, try_atomically, Abort, AbortKind, StatsSnapshot, TmConfig, TmStats, TmSystem,
-    Transaction,
+    atomically, try_atomically, try_atomically_seq, Abort, AbortKind, StatsSnapshot, TmConfig,
+    TmStats, TmSystem, Transaction,
 };
 pub use heap::{Addr, TmHeap, Word, NULL};
 pub use htm::{HtmConfig, TsxHtm};

@@ -115,16 +115,16 @@ impl<'a, S: TmSystem> Transaction for RecordTx<'a, S> {
         Ok(())
     }
 
-    fn commit(self) -> Result<(), Abort> {
+    fn commit_seq(self) -> Result<Option<u64>, Abort> {
         let exec_ns = self.started.elapsed().as_nanos() as f64;
-        self.inner.commit()?;
+        let seq = self.inner.commit_seq()?;
         self.log.lock().push(TxnRecord {
             reads: self.reads,
             writes: self.writes,
             exec_ns,
             epoch: self.epoch.load(Ordering::Relaxed),
         });
-        Ok(())
+        Ok(seq)
     }
 }
 

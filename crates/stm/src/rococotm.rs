@@ -363,7 +363,7 @@ impl Transaction for RococoTx<'_> {
         Ok(())
     }
 
-    fn commit(self) -> Result<(), Abort> {
+    fn commit_seq(self) -> Result<Option<u64>, Abort> {
         let tm = self.tm;
 
         // Read-only transactions commit directly on the CPU: their read
@@ -371,7 +371,7 @@ impl Transaction for RococoTx<'_> {
         if self.write_addrs.is_empty() {
             tm.stats.read_only_commits.fetch_add(1, Ordering::Relaxed);
             tm.consecutive_aborts[self.thread].store(0, Ordering::Relaxed);
-            return Ok(());
+            return Ok(None);
         }
 
         // Ordinary committers share the gate; an irrevocable transaction
@@ -457,7 +457,10 @@ impl Transaction for RococoTx<'_> {
             tm.stats.fallback_commits.fetch_add(1, Ordering::Relaxed);
         }
         tm.consecutive_aborts[self.thread].store(0, Ordering::Relaxed);
-        Ok(())
+        // The FPGA-granted sequence doubles as the durable sequence: it
+        // is dense from 0 across update commits, and the turn-wait above
+        // makes write-backs publish in exactly this order.
+        Ok(Some(seq))
     }
 }
 

@@ -4,6 +4,7 @@ use crate::api::{Abort, TmConfig, TmStats, TmSystem, Transaction};
 use crate::heap::{Addr, TmHeap, Word};
 use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The sequential baseline: transactions execute unsynchronised and commits
 /// never fail. STAMP speedups (Figure 10's y-axis) are measured against a
@@ -17,6 +18,7 @@ use std::collections::HashMap;
 pub struct SeqTm {
     heap: TmHeap,
     stats: TmStats,
+    durable_seq: AtomicU64,
 }
 
 impl SeqTm {
@@ -25,6 +27,7 @@ impl SeqTm {
         Self {
             heap: TmHeap::new(config.heap_words),
             stats: TmStats::default(),
+            durable_seq: AtomicU64::new(0),
         }
     }
 }
@@ -32,7 +35,7 @@ impl SeqTm {
 /// A [`SeqTm`] transaction.
 #[derive(Debug)]
 pub struct SeqTx<'a> {
-    heap: &'a TmHeap,
+    tm: &'a SeqTm,
     redo: HashMap<Addr, Word>,
 }
 
@@ -40,7 +43,7 @@ impl Transaction for SeqTx<'_> {
     fn read(&mut self, addr: Addr) -> Result<Word, Abort> {
         Ok(match self.redo.get(&addr) {
             Some(&v) => v,
-            None => self.heap.load_direct(addr),
+            None => self.tm.heap.load_direct(addr),
         })
     }
 
@@ -49,11 +52,17 @@ impl Transaction for SeqTx<'_> {
         Ok(())
     }
 
-    fn commit(self) -> Result<(), Abort> {
+    fn commit_seq(self) -> Result<Option<u64>, Abort> {
+        // Single-threaded by contract, so commits are already serialised.
+        let seq = if self.redo.is_empty() {
+            None
+        } else {
+            Some(self.tm.durable_seq.fetch_add(1, Ordering::SeqCst))
+        };
         for (addr, val) in self.redo {
-            self.heap.store_direct(addr, val);
+            self.tm.heap.store_direct(addr, val);
         }
-        Ok(())
+        Ok(seq)
     }
 }
 
@@ -70,7 +79,7 @@ impl TmSystem for SeqTm {
 
     fn begin(&self, _thread_id: usize) -> SeqTx<'_> {
         SeqTx {
-            heap: &self.heap,
+            tm: self,
             redo: HashMap::new(),
         }
     }
@@ -87,6 +96,7 @@ pub struct GlobalLockTm {
     heap: TmHeap,
     stats: TmStats,
     lock: Mutex<()>,
+    durable_seq: AtomicU64,
 }
 
 impl GlobalLockTm {
@@ -96,6 +106,7 @@ impl GlobalLockTm {
             heap: TmHeap::new(config.heap_words),
             stats: TmStats::default(),
             lock: Mutex::new(()),
+            durable_seq: AtomicU64::new(0),
         }
     }
 }
@@ -103,7 +114,7 @@ impl GlobalLockTm {
 /// A [`GlobalLockTm`] transaction: holds the global lock for its lifetime.
 #[derive(Debug)]
 pub struct GlobalLockTx<'a> {
-    heap: &'a TmHeap,
+    tm: &'a GlobalLockTm,
     redo: HashMap<Addr, Word>,
     _guard: MutexGuard<'a, ()>,
 }
@@ -112,7 +123,7 @@ impl Transaction for GlobalLockTx<'_> {
     fn read(&mut self, addr: Addr) -> Result<Word, Abort> {
         Ok(match self.redo.get(&addr) {
             Some(&v) => v,
-            None => self.heap.load_direct(addr),
+            None => self.tm.heap.load_direct(addr),
         })
     }
 
@@ -121,11 +132,18 @@ impl Transaction for GlobalLockTx<'_> {
         Ok(())
     }
 
-    fn commit(self) -> Result<(), Abort> {
+    fn commit_seq(self) -> Result<Option<u64>, Abort> {
+        // The global lock is held for the whole transaction, so the fetch
+        // is trivially inside the critical section.
+        let seq = if self.redo.is_empty() {
+            None
+        } else {
+            Some(self.tm.durable_seq.fetch_add(1, Ordering::SeqCst))
+        };
         for (addr, val) in self.redo {
-            self.heap.store_direct(addr, val);
+            self.tm.heap.store_direct(addr, val);
         }
-        Ok(())
+        Ok(seq)
     }
 }
 
@@ -142,7 +160,7 @@ impl TmSystem for GlobalLockTm {
 
     fn begin(&self, _thread_id: usize) -> GlobalLockTx<'_> {
         GlobalLockTx {
-            heap: &self.heap,
+            tm: self,
             redo: HashMap::new(),
             _guard: self.lock.lock(),
         }

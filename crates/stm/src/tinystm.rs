@@ -27,6 +27,11 @@ pub struct TinyStm {
     /// (unlocked); odd values mark the word as locked by a committer, with
     /// the pre-lock version still recoverable (`locked = unlocked | 1`).
     locks: Vec<AtomicU64>,
+    /// Dense durable sequence counter; fetched after read-set validation
+    /// succeeds, while the write locks are still held. The commit clock
+    /// `wv` cannot serve: it is fetched before validation, so aborting
+    /// committers leave holes.
+    durable_seq: AtomicU64,
 }
 
 impl TinyStm {
@@ -37,6 +42,7 @@ impl TinyStm {
             stats: TmStats::default(),
             clock: AtomicU64::new(0),
             locks: (0..config.heap_words).map(|_| AtomicU64::new(0)).collect(),
+            durable_seq: AtomicU64::new(0),
         }
     }
 
@@ -128,13 +134,13 @@ impl Transaction for TinyTx<'_> {
         Ok(())
     }
 
-    fn commit(self) -> Result<(), Abort> {
+    fn commit_seq(self) -> Result<Option<u64>, Abort> {
         if self.redo.is_empty() {
             self.tm
                 .stats
                 .read_only_commits
                 .fetch_add(1, Ordering::Relaxed);
-            return Ok(());
+            return Ok(None);
         }
 
         // Acquire write locks in address order (deadlock avoidance).
@@ -189,6 +195,13 @@ impl Transaction for TinyTx<'_> {
             return Err(Abort::new(AbortKind::Conflict));
         }
 
+        // Point of no return: validation passed and every written word is
+        // still locked, so no dependent transaction can commit between here
+        // and our lock release. Fetching the durable sequence inside this
+        // window makes sequence order consistent with serialization order
+        // for read-from and write-write dependencies.
+        let seq = self.tm.durable_seq.fetch_add(1, Ordering::SeqCst);
+
         // Write back and release with the new version.
         for (&addr, &val) in &self.redo {
             self.tm.heap.store_direct(addr, val);
@@ -196,7 +209,7 @@ impl Transaction for TinyTx<'_> {
         for &(a, _) in &acquired {
             self.tm.lock_of(a).store(wv << 1, Ordering::SeqCst);
         }
-        Ok(())
+        Ok(Some(seq))
     }
 }
 
@@ -341,6 +354,50 @@ mod tests {
             });
         }
         writer.join().unwrap();
+    }
+
+    #[test]
+    fn durable_seqs_are_dense_and_ordered_with_values() {
+        // Every update commit gets a unique seq from a dense range, and on
+        // a single contended counter the seq order must match the value
+        // order (seq order respects read-from dependencies).
+        use crate::api::try_atomically_seq;
+        use parking_lot::Mutex;
+        let tm = Arc::new(tm(16));
+        let seen: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut joins = Vec::new();
+        for t in 0..4usize {
+            let tm = tm.clone();
+            let seen = seen.clone();
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    loop {
+                        let res = try_atomically_seq(&*tm, t, &mut |tx: &mut TinyTx<'_>| {
+                            let v = tx.read(3)?;
+                            tx.write(3, v + 1)?;
+                            Ok(v + 1)
+                        });
+                        if let Ok((new_val, seq)) = res {
+                            seen.lock().push((seq.expect("update commit"), new_val));
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let mut seen = Arc::try_unwrap(seen).unwrap().into_inner();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 2000);
+        for (i, &(seq, val)) in seen.iter().enumerate() {
+            assert_eq!(seq, i as u64, "dense sequence");
+            assert_eq!(val, i as u64 + 1, "seq order == serialization order");
+        }
+        // Read-only commits take no sequence.
+        let (_, seq) = try_atomically_seq(&*tm, 0, &mut |tx: &mut TinyTx<'_>| tx.read(3)).unwrap();
+        assert_eq!(seq, None);
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! Crash recovery: load the newest valid checkpoint, replay the log
+//! tail, repair torn state.
+
+use crate::record::{decode_all, Checkpoint, DecodeEnd, WalRecord};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Name of the single append-only log file inside a WAL directory.
+pub const LOG_FILE: &str = "wal.log";
+/// Name of the in-flight checkpoint temp file (never valid state; removed
+/// on recovery).
+pub const CKPT_TMP: &str = "ckpt.tmp";
+
+/// Builds the durable checkpoint file name for `next_seq`.
+pub fn ckpt_file_name(next_seq: u64) -> String {
+    format!("ckpt-{next_seq:020}.snap")
+}
+
+fn parse_ckpt_name(name: &str) -> Option<u64> {
+    name.strip_prefix("ckpt-")?
+        .strip_suffix(".snap")?
+        .parse()
+        .ok()
+}
+
+/// What recovery did — surfaced to harnesses and logs so crash handling
+/// is observable, not silent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// `next_seq` of the checkpoint that was loaded, if any.
+    pub checkpoint_seq: Option<u64>,
+    /// Checkpoint files that failed validation (torn/corrupt) and were
+    /// ignored.
+    pub invalid_checkpoints: u64,
+    /// Log records replayed on top of the checkpoint.
+    pub replayed: u64,
+    /// Stale records skipped because a checkpoint already covered them
+    /// (an interrupted truncation leaves these).
+    pub skipped_stale: u64,
+    /// Bytes cut off the log tail at the first invalid frame.
+    pub torn_truncated_bytes: u64,
+    /// Why the tail was truncated, when it was.
+    pub torn_reason: Option<&'static str>,
+    /// Whether an interrupted log truncation was completed (every
+    /// surviving record was stale).
+    pub completed_truncation: bool,
+}
+
+/// The state a WAL directory recovers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredState {
+    /// Key-table snapshot from the checkpoint (empty when starting
+    /// fresh; missing keys are implicitly zero).
+    pub values: Vec<u64>,
+    /// Records to replay on top of `values`, in commit order; sequence
+    /// numbers are dense starting at the checkpoint's `next_seq`.
+    pub records: Vec<WalRecord>,
+    /// First unused sequence number — new commits are rebased onto this.
+    pub next_seq: u64,
+    /// What recovery observed and repaired.
+    pub report: RecoveryReport,
+}
+
+/// Recovers a WAL directory (creating it if missing):
+///
+/// 1. Remove a leftover `ckpt.tmp` (a checkpoint that never renamed is
+///    not state).
+/// 2. Load the newest `ckpt-*.snap` that passes its checksum; older and
+///    invalid ones are ignored (invalid ones counted).
+/// 3. Decode `wal.log` in file order, truncating the file at the first
+///    invalid frame (torn tail). Records below the checkpoint's
+///    `next_seq` are skipped as stale; from the first fresh record on,
+///    sequence numbers must be dense — a gap is treated as corruption
+///    and truncates the rest.
+/// 4. If *every* surviving record was stale, the log is an interrupted
+///    truncation: complete it (truncate to empty).
+///
+/// The caller applies `values` then `records` to rebuild the table and
+/// resumes issuing sequence numbers at `next_seq`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; corrupt *contents* never error (they
+/// are repaired by truncation and reported).
+pub fn recover(dir: &Path) -> io::Result<RecoveredState> {
+    fs::create_dir_all(dir)?;
+    let mut report = RecoveryReport::default();
+
+    let tmp = dir.join(CKPT_TMP);
+    if tmp.exists() {
+        fs::remove_file(&tmp)?;
+    }
+
+    // Newest valid checkpoint wins.
+    let mut ckpts: Vec<(u64, PathBuf)> = fs::read_dir(dir)?
+        .filter_map(|e| {
+            let e = e.ok()?;
+            let name = e.file_name().into_string().ok()?;
+            Some((parse_ckpt_name(&name)?, e.path()))
+        })
+        .collect();
+    ckpts.sort_unstable_by_key(|&(seq, _)| std::cmp::Reverse(seq));
+    let mut checkpoint: Option<Checkpoint> = None;
+    for (_, path) in &ckpts {
+        match Checkpoint::decode(&fs::read(path)?) {
+            Some(ck) => {
+                checkpoint = Some(ck);
+                break;
+            }
+            None => report.invalid_checkpoints += 1,
+        }
+    }
+    let base_seq = checkpoint.as_ref().map_or(0, |c| c.next_seq);
+    report.checkpoint_seq = checkpoint.as_ref().map(|c| c.next_seq);
+
+    // Decode the log; truncate the torn tail.
+    let log_path = dir.join(LOG_FILE);
+    let bytes = match fs::read(&log_path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let (decoded, end) = decode_all(&bytes);
+    let mut keep_until = match end {
+        DecodeEnd::Clean => bytes.len() as u64,
+        DecodeEnd::Torn { offset, reason } => {
+            report.torn_truncated_bytes = bytes.len() as u64 - offset;
+            report.torn_reason = Some(reason);
+            offset
+        }
+    };
+
+    // Split stale prefix / dense fresh tail; a sequence irregularity in
+    // the fresh tail is corruption -> truncate there too.
+    let mut records = Vec::new();
+    let mut expected = base_seq;
+    let mut offset = 0u64;
+    for rec in decoded {
+        let frame = rec.frame_len() as u64;
+        if rec.seq < base_seq && records.is_empty() {
+            report.skipped_stale += 1;
+            offset += frame;
+            continue;
+        }
+        if rec.seq != expected {
+            report.torn_truncated_bytes += keep_until - offset;
+            report.torn_reason = Some("sequence gap");
+            keep_until = offset;
+            break;
+        }
+        expected += 1;
+        offset += frame;
+        records.push(rec);
+    }
+
+    if records.is_empty() && report.skipped_stale > 0 {
+        // Interrupted truncation: the checkpoint covers everything in
+        // the log. Finish the job.
+        keep_until = 0;
+        report.completed_truncation = true;
+    }
+    if keep_until < bytes.len() as u64 {
+        let f = fs::OpenOptions::new().write(true).open(&log_path)?;
+        f.set_len(keep_until)?;
+        f.sync_all()?;
+    }
+
+    report.replayed = records.len() as u64;
+    Ok(RecoveredState {
+        values: checkpoint.map_or_else(Vec::new, |c| c.values),
+        records,
+        next_seq: expected,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch_dir;
+
+    fn write_log(dir: &Path, records: &[(u64, Vec<(u64, u64)>)]) {
+        let mut buf = Vec::new();
+        for (seq, writes) in records {
+            WalRecord {
+                seq: *seq,
+                writes: writes.clone(),
+            }
+            .encode_into(&mut buf);
+        }
+        fs::write(dir.join(LOG_FILE), buf).unwrap();
+    }
+
+    fn cleanup(dir: PathBuf) {
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn empty_dir_recovers_fresh() {
+        let dir = scratch_dir("empty");
+        let st = recover(&dir).unwrap();
+        assert!(st.values.is_empty());
+        assert!(st.records.is_empty());
+        assert_eq!(st.next_seq, 0);
+        assert_eq!(st.report, RecoveryReport::default());
+        cleanup(dir);
+    }
+
+    #[test]
+    fn replays_clean_log_in_order() {
+        let dir = scratch_dir("clean");
+        write_log(&dir, &[(0, vec![(1, 10)]), (1, vec![(2, 20)])]);
+        let st = recover(&dir).unwrap();
+        assert_eq!(st.records.len(), 2);
+        assert_eq!(st.next_seq, 2);
+        assert_eq!(st.report.replayed, 2);
+        cleanup(dir);
+    }
+
+    #[test]
+    fn truncates_torn_tail_and_leaves_file_replayable() {
+        let dir = scratch_dir("torn");
+        write_log(&dir, &[(0, vec![(1, 10)]), (1, vec![(2, 20)])]);
+        // Tear the last 5 bytes off the second record.
+        let path = dir.join(LOG_FILE);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let st = recover(&dir).unwrap();
+        assert_eq!(st.records.len(), 1);
+        assert_eq!(st.next_seq, 1);
+        assert!(st.report.torn_truncated_bytes > 0);
+        // The file itself was repaired: a second recovery is clean.
+        let st2 = recover(&dir).unwrap();
+        assert_eq!(st2.records.len(), 1);
+        assert_eq!(st2.report.torn_truncated_bytes, 0);
+        cleanup(dir);
+    }
+
+    #[test]
+    fn checkpoint_beats_stale_log_records() {
+        let dir = scratch_dir("ckpt");
+        // Checkpoint covers seqs 0..3; log still holds 1..=4 (the crash
+        // hit between rename and truncation for 1 and 2).
+        let ck = Checkpoint {
+            next_seq: 3,
+            values: vec![7, 8, 9],
+        };
+        fs::write(dir.join(ckpt_file_name(3)), ck.encode()).unwrap();
+        write_log(
+            &dir,
+            &[
+                (1, vec![(0, 1)]),
+                (2, vec![(1, 2)]),
+                (3, vec![(2, 33)]),
+                (4, vec![(0, 44)]),
+            ],
+        );
+        let st = recover(&dir).unwrap();
+        assert_eq!(st.values, vec![7, 8, 9]);
+        assert_eq!(st.records.len(), 2);
+        assert_eq!(st.records[0].seq, 3);
+        assert_eq!(st.next_seq, 5);
+        assert_eq!(st.report.skipped_stale, 2);
+        assert_eq!(st.report.checkpoint_seq, Some(3));
+        cleanup(dir);
+    }
+
+    #[test]
+    fn completes_interrupted_truncation() {
+        let dir = scratch_dir("midtrunc");
+        let ck = Checkpoint {
+            next_seq: 2,
+            values: vec![5, 6],
+        };
+        fs::write(dir.join(ckpt_file_name(2)), ck.encode()).unwrap();
+        write_log(&dir, &[(0, vec![(0, 1)]), (1, vec![(1, 2)])]);
+        let st = recover(&dir).unwrap();
+        assert!(st.records.is_empty());
+        assert_eq!(st.next_seq, 2);
+        assert!(st.report.completed_truncation);
+        assert_eq!(fs::read(dir.join(LOG_FILE)).unwrap().len(), 0);
+        cleanup(dir);
+    }
+
+    #[test]
+    fn invalid_checkpoint_falls_back_to_older_one() {
+        let dir = scratch_dir("badckpt");
+        let good = Checkpoint {
+            next_seq: 1,
+            values: vec![42],
+        };
+        fs::write(dir.join(ckpt_file_name(1)), good.encode()).unwrap();
+        // The newer checkpoint is torn.
+        let newer = Checkpoint {
+            next_seq: 9,
+            values: vec![1, 2, 3],
+        }
+        .encode();
+        fs::write(dir.join(ckpt_file_name(9)), &newer[..newer.len() - 2]).unwrap();
+        // Leftover temp file must be ignored and removed.
+        fs::write(dir.join(CKPT_TMP), b"half").unwrap();
+        write_log(&dir, &[(1, vec![(0, 50)])]);
+        let st = recover(&dir).unwrap();
+        assert_eq!(st.values, vec![42]);
+        assert_eq!(st.report.invalid_checkpoints, 1);
+        assert_eq!(st.report.checkpoint_seq, Some(1));
+        assert_eq!(st.records.len(), 1);
+        assert_eq!(st.next_seq, 2);
+        assert!(!dir.join(CKPT_TMP).exists());
+        cleanup(dir);
+    }
+
+    #[test]
+    fn sequence_gap_truncates_the_rest() {
+        let dir = scratch_dir("gap");
+        write_log(&dir, &[(0, vec![(0, 1)]), (2, vec![(1, 2)])]);
+        let st = recover(&dir).unwrap();
+        assert_eq!(st.records.len(), 1);
+        assert_eq!(st.next_seq, 1);
+        assert_eq!(st.report.torn_reason, Some("sequence gap"));
+        // File repaired to just the dense prefix.
+        let st2 = recover(&dir).unwrap();
+        assert_eq!(st2.records.len(), 1);
+        assert_eq!(st2.report.torn_reason, None);
+        cleanup(dir);
+    }
+}

@@ -1,0 +1,196 @@
+//! WAL observability: group-commit batch sizes and fsync latency.
+//!
+//! The WAL cannot depend on `rococo-server`'s histogram (the dependency
+//! points the other way), so it carries its own minimal power-of-two
+//! bucketed histogram — coarse, but enough to see whether group commit
+//! is actually batching and what each fsync costs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 32;
+
+/// A lock-free histogram with power-of-two buckets: bucket `i` counts
+/// values `v` with `floor(log2(v)) == i - 1` (bucket 0 holds `v == 0`,
+/// the last bucket absorbs everything larger).
+#[derive(Debug, Default)]
+pub struct Pow2Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+impl Pow2Histogram {
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy.
+    pub fn snapshot(&self) -> Pow2Snapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (d, s) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *d = s.load(Ordering::Relaxed);
+        }
+        Pow2Snapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Pow2Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pow2Snapshot {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Per-bucket counts; bucket `i > 0` spans `[2^(i-1), 2^i)`.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for Pow2Snapshot {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Pow2Snapshot {
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding quantile `q` in `0.0..=1.0` —
+    /// a conservative (over-)estimate of the quantile. 0 when empty.
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+}
+
+/// Live WAL counters, updated by the writer thread and the append path.
+#[derive(Debug, Default)]
+pub struct WalStats {
+    pub(crate) appended_records: AtomicU64,
+    pub(crate) appended_bytes: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) fsyncs: AtomicU64,
+    pub(crate) acked_records: AtomicU64,
+    pub(crate) failed_appends: AtomicU64,
+    pub(crate) checkpoints: AtomicU64,
+    pub(crate) truncations: AtomicU64,
+    pub(crate) batch_sizes: Pow2Histogram,
+    pub(crate) fsync_ns: Pow2Histogram,
+}
+
+impl WalStats {
+    /// Takes a point-in-time copy.
+    pub fn snapshot(&self) -> WalSnapshot {
+        WalSnapshot {
+            appended_records: self.appended_records.load(Ordering::Relaxed),
+            appended_bytes: self.appended_bytes.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            acked_records: self.acked_records.load(Ordering::Relaxed),
+            failed_appends: self.failed_appends.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            truncations: self.truncations.load(Ordering::Relaxed),
+            batch_sizes: self.batch_sizes.snapshot(),
+            fsync_ns: self.fsync_ns.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`WalStats`], surfaced in TxKV reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WalSnapshot {
+    /// Records written to the log.
+    pub appended_records: u64,
+    /// Bytes written to the log.
+    pub appended_bytes: u64,
+    /// Group-commit batches flushed.
+    pub batches: u64,
+    /// fsync calls issued.
+    pub fsyncs: u64,
+    /// Records acked back to their submitters.
+    pub acked_records: u64,
+    /// Append calls that failed because the writer was dead.
+    pub failed_appends: u64,
+    /// Checkpoints completed.
+    pub checkpoints: u64,
+    /// Log truncations completed.
+    pub truncations: u64,
+    /// Group-commit batch-size distribution (records per flush).
+    pub batch_sizes: Pow2Snapshot,
+    /// Per-fsync latency distribution in nanoseconds.
+    pub fsync_ns: Pow2Snapshot,
+}
+
+impl WalSnapshot {
+    /// Mean records per group-commit batch.
+    pub fn mean_batch(&self) -> f64 {
+        self.batch_sizes.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn mean_and_quantiles() {
+        let h = Pow2Histogram::default();
+        assert_eq!(h.snapshot().mean(), 0.0);
+        assert_eq!(h.snapshot().quantile_upper(0.5), 0);
+        for v in [1u64, 1, 2, 8, 8, 8, 8, 8] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert!((s.mean() - 44.0 / 8.0).abs() < 1e-9);
+        // p50 falls in the bucket containing 8 -> upper bound 16.
+        assert_eq!(s.quantile_upper(0.5), 16);
+        // p0+ falls in the bucket containing 1 -> upper bound 2.
+        assert_eq!(s.quantile_upper(0.01), 2);
+    }
+}

@@ -1,0 +1,746 @@
+//! The group-commit WAL writer.
+//!
+//! One writer thread owns the log file. Shard workers call
+//! [`Wal::append`] with their transaction's dense commit sequence and
+//! write set, and block until the writer has appended **and fsynced**
+//! (per policy) their record. The writer batches: it drains everything
+//! queued, keeps out-of-order arrivals in a pending map, and flushes the
+//! dense prefix `next, next+1, ...` as one `write(2)` + one fsync —
+//! so the fsync cost is amortised over the whole batch (group commit),
+//! and the file is in commit order by construction.
+//!
+//! Checkpoints flow through the same thread: the caller quiesces
+//! commits (TxKV holds its pause gate), snapshots the key table, and
+//! sends it down the channel; the writer fsyncs the log, writes
+//! `ckpt.tmp`, fsyncs, renames to `ckpt-<next_seq>.snap`, and only then
+//! truncates the log — the rename-before-truncate order is what makes a
+//! crash anywhere in between recoverable.
+//!
+//! When an armed [`KillSwitch`] fires (or on an I/O error), the writer
+//! **dies**: pending acks are dropped, the dead flag is set, and every
+//! in-flight and future [`Wal::append`] returns [`WalDead`]. Nothing is
+//! cleaned up — the directory holds exactly what a crash would leave.
+
+use crate::kill::{KillPoint, KillSwitch};
+use crate::record::{Checkpoint, WalRecord};
+use crate::recover::{ckpt_file_name, recover, RecoveredState, CKPT_TMP, LOG_FILE};
+use crate::stats::{WalSnapshot, WalStats};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Records flushed per batch at most (bounds ack latency under a deep
+/// backlog; plenty above any worker-pool size in this workspace).
+const MAX_BATCH: usize = 256;
+
+/// When the writer acks an append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync every batch before acking: an ack means "on stable
+    /// storage". The durable default.
+    Always,
+    /// fsync every `n`-th batch: bounded data loss under a real power
+    /// cut, much cheaper on slow disks.
+    EveryN(u32),
+    /// Never fsync (the OS flushes when it likes): fastest, an ack only
+    /// means "in the page cache".
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Stable CLI name (`always`, `every8`, `never`).
+    pub fn name(self) -> String {
+        match self {
+            FsyncPolicy::Always => "always".into(),
+            FsyncPolicy::EveryN(n) => format!("every{n}"),
+            FsyncPolicy::Never => "never".into(),
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "always" => Some(FsyncPolicy::Always),
+            "never" => Some(FsyncPolicy::Never),
+            _ => s
+                .strip_prefix("every")?
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .map(FsyncPolicy::EveryN),
+        }
+    }
+}
+
+/// WAL construction parameters.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding `wal.log` and checkpoint files.
+    pub dir: PathBuf,
+    /// Ack durability policy.
+    pub fsync: FsyncPolicy,
+    /// Armed crash point (chaos testing only).
+    pub kill: Option<Arc<KillSwitch>>,
+}
+
+impl WalConfig {
+    /// A durable-default config for `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            kill: None,
+        }
+    }
+}
+
+/// The writer is dead (simulated crash, I/O error, or shutdown): the
+/// append was **not** acked and may or may not be durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalDead;
+
+impl fmt::Display for WalDead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "durability lost: WAL writer stopped")
+    }
+}
+
+impl std::error::Error for WalDead {}
+
+enum Cmd {
+    Append {
+        seq: u64,
+        writes: Vec<(u64, u64)>,
+        ack: Sender<()>,
+    },
+    Checkpoint {
+        values: Vec<u64>,
+        done: Sender<u64>,
+    },
+}
+
+struct Shared {
+    dead: AtomicBool,
+    stats: WalStats,
+}
+
+/// A handle to the group-commit WAL. Clone freely; all clones feed the
+/// same writer thread. The WAL shuts down (flushing cleanly) when the
+/// last clone drops — the [`Wal`] returned by [`Wal::open`] joins the
+/// writer on drop.
+pub struct Wal {
+    shared: Arc<Shared>,
+    tx: Option<Sender<Cmd>>,
+    /// Present only on the handle returned by `open`.
+    writer: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for Wal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Wal")
+            .field("dead", &self.shared.dead.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Wal {
+    /// Recovers `cfg.dir` (see [`recover`]) and starts the writer thread
+    /// appending at the recovered `next_seq`. Returns the handle and the
+    /// recovered state for the caller to rebuild its table from.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from recovery or opening the log.
+    pub fn open(cfg: WalConfig) -> io::Result<(Wal, RecoveredState)> {
+        let recovered = recover(&cfg.dir)?;
+        let file = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(cfg.dir.join(LOG_FILE))?;
+        let shared = Arc::new(Shared {
+            dead: AtomicBool::new(false),
+            stats: WalStats::default(),
+        });
+        let (tx, rx) = unbounded();
+        let next = recovered.next_seq;
+        let writer_shared = Arc::clone(&shared);
+        let writer = std::thread::Builder::new()
+            .name("wal-writer".into())
+            .spawn(move || writer_loop(cfg, file, next, rx, writer_shared))
+            .expect("failed to spawn wal writer");
+        Ok((
+            Wal {
+                shared,
+                tx: Some(tx),
+                writer: Some(writer),
+            },
+            recovered,
+        ))
+    }
+
+    /// A cheap clone for shard workers (does not own the writer join
+    /// handle).
+    pub fn client(&self) -> Wal {
+        Wal {
+            shared: Arc::clone(&self.shared),
+            tx: self.tx.clone(),
+            writer: None,
+        }
+    }
+
+    /// Appends one committed transaction and blocks until the writer
+    /// acks it (after the policy's fsync). `seq` must be the dense
+    /// commit sequence the TM handed out, rebased by the caller onto
+    /// the recovered `next_seq`.
+    ///
+    /// # Errors
+    ///
+    /// [`WalDead`] if the writer has died; the record may or may not
+    /// have reached the disk.
+    pub fn append(&self, seq: u64, writes: Vec<(u64, u64)>) -> Result<(), WalDead> {
+        if self.shared.dead.load(Ordering::SeqCst) {
+            self.shared
+                .stats
+                .failed_appends
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(WalDead);
+        }
+        let (ack_tx, ack_rx) = bounded(1);
+        let cmd = Cmd::Append {
+            seq,
+            writes,
+            ack: ack_tx,
+        };
+        let sent = self
+            .tx
+            .as_ref()
+            .map(|tx| tx.send(cmd).is_ok())
+            .unwrap_or(false);
+        if sent && ack_rx.recv().is_ok() {
+            Ok(())
+        } else {
+            self.shared
+                .stats
+                .failed_appends
+                .fetch_add(1, Ordering::Relaxed);
+            Err(WalDead)
+        }
+    }
+
+    /// Writes a checkpoint of `values` (the full key table) and
+    /// truncates the log. The caller **must** have quiesced commits: no
+    /// sequence number may be fetched-but-unsubmitted while this runs,
+    /// or the checkpoint would capture state the log cannot reproduce.
+    /// Returns the `next_seq` the checkpoint covers up to.
+    ///
+    /// # Errors
+    ///
+    /// [`WalDead`] if the writer died (possibly mid-checkpoint; recovery
+    /// handles every intermediate state).
+    pub fn checkpoint(&self, values: Vec<u64>) -> Result<u64, WalDead> {
+        if self.shared.dead.load(Ordering::SeqCst) {
+            return Err(WalDead);
+        }
+        let (done_tx, done_rx) = bounded(1);
+        let cmd = Cmd::Checkpoint {
+            values,
+            done: done_tx,
+        };
+        let sent = self
+            .tx
+            .as_ref()
+            .map(|tx| tx.send(cmd).is_ok())
+            .unwrap_or(false);
+        if !sent {
+            return Err(WalDead);
+        }
+        done_rx.recv().map_err(|_| WalDead)
+    }
+
+    /// Whether the writer has died (crash injection, I/O error).
+    pub fn is_dead(&self) -> bool {
+        self.shared.dead.load(Ordering::SeqCst)
+    }
+
+    /// Point-in-time WAL counters.
+    pub fn stats(&self) -> WalSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Stops the writer (flushes queued appends first), joins it, and
+    /// returns the final counters. Dropping the opener handle does the
+    /// same minus the snapshot.
+    pub fn shutdown(mut self) -> WalSnapshot {
+        self.stop_and_join();
+        self.shared.stats.snapshot()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.tx = None; // writer's recv errors out once the queue drains
+        if let Some(h) = self.writer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// A record parked until its predecessors arrive: the write set plus the
+/// ack channel to release the appender.
+type PendingRecord = (Vec<(u64, u64)>, Sender<()>);
+
+struct WriterState {
+    cfg: WalConfig,
+    file: File,
+    next: u64,
+    pending: BTreeMap<u64, PendingRecord>,
+    batches_since_fsync: u32,
+    shared: Arc<Shared>,
+    /// Batch scratch space, reused so a steady state allocates nothing.
+    buf: Vec<u8>,
+    acks: Vec<Sender<()>>,
+}
+
+impl WriterState {
+    fn fires(&self, point: KillPoint) -> bool {
+        self.cfg.kill.as_ref().is_some_and(|k| k.should_fire(point))
+    }
+
+    /// Kills the writer: drops every pending ack and marks the WAL dead.
+    fn die(&mut self) {
+        self.shared.dead.store(true, Ordering::SeqCst);
+        self.pending.clear();
+    }
+
+    fn maybe_fsync(&mut self) -> io::Result<()> {
+        let due = match self.cfg.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => {
+                self.batches_since_fsync += 1;
+                if self.batches_since_fsync >= n {
+                    self.batches_since_fsync = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+            FsyncPolicy::Never => false,
+        };
+        if due {
+            let t0 = Instant::now();
+            self.file.sync_data()?;
+            let dt = t0.elapsed().as_nanos() as u64;
+            self.shared.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+            self.shared.stats.fsync_ns.record(dt);
+        }
+        Ok(())
+    }
+
+    /// Flushes the dense prefix of `pending` as one batch. Returns
+    /// `false` when the writer died (kill point or I/O error).
+    fn flush_dense_prefix(&mut self) -> bool {
+        while self.pending.contains_key(&self.next) {
+            let mut buf = std::mem::take(&mut self.buf);
+            let mut acks = std::mem::take(&mut self.acks);
+            buf.clear();
+            acks.clear();
+            while acks.len() < MAX_BATCH {
+                let Some((writes, ack)) = self.pending.remove(&self.next) else {
+                    break;
+                };
+                WalRecord {
+                    seq: self.next,
+                    writes,
+                }
+                .encode_into(&mut buf);
+                acks.push(ack);
+                self.next += 1;
+            }
+
+            if self.fires(KillPoint::PreAppend) {
+                self.die();
+                return false;
+            }
+            if self.fires(KillPoint::MidAppend) {
+                // Torn write: half the batch reaches the file, cutting
+                // through the final record.
+                let cut = buf.len() - acks.len().min(buf.len() / 2).max(1);
+                let _ = self.file.write_all(&buf[..cut]);
+                let _ = self.file.sync_data();
+                self.die();
+                return false;
+            }
+            if self.file.write_all(&buf).is_err() || self.maybe_fsync().is_err() {
+                self.die();
+                return false;
+            }
+            if self.fires(KillPoint::PostAppendPreAck) {
+                // Data is durable; the acks are not delivered.
+                let _ = self.file.sync_data();
+                self.die();
+                return false;
+            }
+            let stats = &self.shared.stats;
+            stats
+                .appended_records
+                .fetch_add(acks.len() as u64, Ordering::Relaxed);
+            stats
+                .appended_bytes
+                .fetch_add(buf.len() as u64, Ordering::Relaxed);
+            stats.batches.fetch_add(1, Ordering::Relaxed);
+            stats.batch_sizes.record(acks.len() as u64);
+            stats
+                .acked_records
+                .fetch_add(acks.len() as u64, Ordering::Relaxed);
+            for ack in acks.drain(..) {
+                let _ = ack.send(());
+            }
+            self.buf = buf;
+            self.acks = acks;
+        }
+        true
+    }
+
+    /// Writes `ckpt-<next>.snap` (temp + fsync + rename) then truncates
+    /// the log. Returns `false` when the writer died.
+    fn do_checkpoint(&mut self, values: Vec<u64>) -> bool {
+        debug_assert!(
+            self.pending.is_empty(),
+            "checkpoint requires quiesced commits"
+        );
+        let dir = self.cfg.dir.clone();
+        let ck = Checkpoint {
+            next_seq: self.next,
+            values,
+        };
+        let image = ck.encode();
+        let run = || -> io::Result<bool> {
+            // The snapshot reflects every applied record; make sure the
+            // log that produced it is durable before superseding it.
+            self.file.sync_data()?;
+            if self.fires(KillPoint::MidCheckpoint) {
+                // Crash mid-temp-write: a half checkpoint that never
+                // validates and never renames.
+                let mut f = File::create(dir.join(CKPT_TMP))?;
+                f.write_all(&image[..image.len() / 2])?;
+                f.sync_all()?;
+                return Ok(false);
+            }
+            let tmp = dir.join(CKPT_TMP);
+            let mut f = File::create(&tmp)?;
+            f.write_all(&image)?;
+            f.sync_all()?;
+            drop(f);
+            fs::rename(&tmp, dir.join(ckpt_file_name(ck.next_seq)))?;
+            // Persist the rename itself.
+            if let Ok(d) = File::open(&dir) {
+                let _ = d.sync_all();
+            }
+            if self.fires(KillPoint::MidTruncate) {
+                // Checkpoint durable, log not truncated: recovery must
+                // skip the stale records.
+                return Ok(false);
+            }
+            self.file.set_len(0)?;
+            self.file.sync_data()?;
+            // Old checkpoints are superseded; best-effort cleanup.
+            for entry in fs::read_dir(&dir)?.flatten() {
+                if let Ok(name) = entry.file_name().into_string() {
+                    if name.starts_with("ckpt-")
+                        && name.ends_with(".snap")
+                        && name != ckpt_file_name(ck.next_seq)
+                    {
+                        let _ = fs::remove_file(entry.path());
+                    }
+                }
+            }
+            self.shared
+                .stats
+                .truncations
+                .fetch_add(1, Ordering::Relaxed);
+            Ok(true)
+        };
+        match run() {
+            Ok(true) => {
+                self.shared
+                    .stats
+                    .checkpoints
+                    .fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Ok(false) | Err(_) => {
+                self.die();
+                false
+            }
+        }
+    }
+}
+
+fn writer_loop(cfg: WalConfig, file: File, next: u64, rx: Receiver<Cmd>, shared: Arc<Shared>) {
+    let mut st = WriterState {
+        cfg,
+        file,
+        next,
+        pending: BTreeMap::new(),
+        batches_since_fsync: 0,
+        shared,
+        buf: Vec::new(),
+        acks: Vec::new(),
+    };
+    fn take(cmd: Cmd, st: &mut WriterState, ckpt: &mut Option<(Vec<u64>, Sender<u64>)>) {
+        match cmd {
+            Cmd::Append { seq, writes, ack } => {
+                st.pending.insert(seq, (writes, ack));
+            }
+            Cmd::Checkpoint { values, done } => *ckpt = Some((values, done)),
+        }
+    }
+    'outer: while let Ok(first) = rx.recv() {
+        let mut ckpt: Option<(Vec<u64>, Sender<u64>)> = None;
+        take(first, &mut st, &mut ckpt);
+        // Greedily drain the queue: this is where group commit's
+        // batching comes from. Stop at a checkpoint command so its
+        // quiesced snapshot is handled at a batch boundary.
+        while ckpt.is_none() {
+            match rx.try_recv() {
+                Ok(cmd) => take(cmd, &mut st, &mut ckpt),
+                Err(_) => break,
+            }
+        }
+        if !st.flush_dense_prefix() {
+            break 'outer;
+        }
+        if let Some((values, done)) = ckpt {
+            if !st.do_checkpoint(values) {
+                break 'outer;
+            }
+            let _ = done.send(st.next);
+        }
+    }
+    // Clean shutdown (all handles dropped): make the tail durable.
+    if !st.shared.dead.load(Ordering::SeqCst) {
+        let _ = st.file.sync_data();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch_dir;
+
+    fn cleanup(dir: PathBuf) {
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn append_recover_roundtrip() {
+        let dir = scratch_dir("wrt-roundtrip");
+        let (wal, st) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert_eq!(st.next_seq, 0);
+        wal.append(0, vec![(1, 10)]).unwrap();
+        wal.append(1, vec![(2, 20), (3, 30)]).unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.appended_records, 2);
+        assert_eq!(stats.acked_records, 2);
+        wal.shutdown();
+
+        let (wal2, st2) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert_eq!(st2.next_seq, 2);
+        assert_eq!(st2.records.len(), 2);
+        assert_eq!(st2.records[1].writes, vec![(2, 20), (3, 30)]);
+        // Appending resumes where we left off.
+        wal2.append(2, vec![(4, 40)]).unwrap();
+        wal2.shutdown();
+        let (_, st3) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert_eq!(st3.next_seq, 3);
+        cleanup(dir);
+    }
+
+    #[test]
+    fn out_of_order_appends_wait_for_the_gap() {
+        let dir = scratch_dir("wrt-ooo");
+        let (wal, _) = Wal::open(WalConfig::new(&dir)).unwrap();
+        let w2 = wal.client();
+        // Submit seq 1 from another thread; it must not ack until seq 0
+        // arrives.
+        let h = std::thread::spawn(move || w2.append(1, vec![(7, 70)]));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!h.is_finished(), "seq 1 acked before seq 0 was appended");
+        wal.append(0, vec![(6, 60)]).unwrap();
+        h.join().unwrap().unwrap();
+        wal.shutdown();
+        let (_, st) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert_eq!(
+            st.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1],
+            "file order must be sequence order"
+        );
+        cleanup(dir);
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_recovery_prefers_it() {
+        let dir = scratch_dir("wrt-ckpt");
+        let (wal, _) = Wal::open(WalConfig::new(&dir)).unwrap();
+        wal.append(0, vec![(0, 5)]).unwrap();
+        wal.append(1, vec![(1, 6)]).unwrap();
+        let covered = wal.checkpoint(vec![5, 6]).unwrap();
+        assert_eq!(covered, 2);
+        wal.append(2, vec![(0, 7)]).unwrap();
+        assert_eq!(wal.stats().checkpoints, 1);
+        wal.shutdown();
+
+        let (_, st) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert_eq!(st.values, vec![5, 6]);
+        assert_eq!(st.records.len(), 1);
+        assert_eq!(st.records[0].seq, 2);
+        assert_eq!(st.next_seq, 3);
+        cleanup(dir);
+    }
+
+    #[test]
+    fn second_checkpoint_removes_the_first() {
+        let dir = scratch_dir("wrt-ckpt2");
+        let (wal, _) = Wal::open(WalConfig::new(&dir)).unwrap();
+        wal.append(0, vec![(0, 1)]).unwrap();
+        wal.checkpoint(vec![1]).unwrap();
+        wal.append(1, vec![(0, 2)]).unwrap();
+        wal.checkpoint(vec![2]).unwrap();
+        wal.shutdown();
+        let snaps: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok()?.file_name().into_string().ok())
+            .filter(|n| n.ends_with(".snap"))
+            .collect();
+        assert_eq!(snaps, vec![ckpt_file_name(2)]);
+        cleanup(dir);
+    }
+
+    #[test]
+    fn fsync_policies_parse_and_count() {
+        assert_eq!(FsyncPolicy::parse("always"), Some(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("never"), Some(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("every8"), Some(FsyncPolicy::EveryN(8)));
+        assert_eq!(FsyncPolicy::parse("every0"), None);
+        assert_eq!(FsyncPolicy::parse("bogus"), None);
+        for p in [
+            FsyncPolicy::Always,
+            FsyncPolicy::EveryN(3),
+            FsyncPolicy::Never,
+        ] {
+            assert_eq!(FsyncPolicy::parse(&p.name()), Some(p));
+        }
+
+        let dir = scratch_dir("wrt-fsync");
+        let mut cfg = WalConfig::new(&dir);
+        cfg.fsync = FsyncPolicy::Never;
+        let (wal, _) = Wal::open(cfg).unwrap();
+        wal.append(0, vec![(0, 1)]).unwrap();
+        assert_eq!(wal.stats().fsyncs, 0);
+        wal.shutdown();
+        cleanup(dir);
+    }
+
+    #[test]
+    fn kill_pre_append_loses_the_batch_but_nothing_acked() {
+        let dir = scratch_dir("wrt-kill-pre");
+        let kill = KillSwitch::arm(KillPoint::PreAppend, 2);
+        let mut cfg = WalConfig::new(&dir);
+        cfg.kill = Some(Arc::clone(&kill));
+        let (wal, _) = Wal::open(cfg).unwrap();
+        wal.append(0, vec![(0, 1)]).unwrap();
+        let err = wal.append(1, vec![(1, 2)]).unwrap_err();
+        assert_eq!(err, WalDead);
+        assert!(kill.fired());
+        assert!(wal.is_dead());
+        // Subsequent appends fail fast.
+        assert_eq!(wal.append(2, vec![(2, 3)]), Err(WalDead));
+        assert!(wal.stats().failed_appends >= 2);
+        wal.shutdown();
+        let (_, st) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert_eq!(st.records.len(), 1, "only the acked record survives");
+        cleanup(dir);
+    }
+
+    #[test]
+    fn kill_mid_append_leaves_a_recoverable_torn_tail() {
+        let dir = scratch_dir("wrt-kill-mid");
+        let kill = KillSwitch::arm(KillPoint::MidAppend, 2);
+        let mut cfg = WalConfig::new(&dir);
+        cfg.kill = Some(kill);
+        let (wal, _) = Wal::open(cfg).unwrap();
+        wal.append(0, vec![(0, 1)]).unwrap();
+        assert_eq!(wal.append(1, vec![(1, 2)]), Err(WalDead));
+        wal.shutdown();
+        let (_, st) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert!(st.report.torn_truncated_bytes > 0, "{:?}", st.report);
+        assert_eq!(st.records.len(), 1);
+        assert_eq!(st.next_seq, 1);
+        cleanup(dir);
+    }
+
+    #[test]
+    fn kill_post_append_pre_ack_keeps_the_unacked_write() {
+        let dir = scratch_dir("wrt-kill-post");
+        let kill = KillSwitch::arm(KillPoint::PostAppendPreAck, 2);
+        let mut cfg = WalConfig::new(&dir);
+        cfg.kill = Some(kill);
+        let (wal, _) = Wal::open(cfg).unwrap();
+        wal.append(0, vec![(0, 1)]).unwrap();
+        // Not acked -> error; but the record IS durable.
+        assert_eq!(wal.append(1, vec![(1, 2)]), Err(WalDead));
+        wal.shutdown();
+        let (_, st) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert_eq!(st.records.len(), 2);
+        assert_eq!(st.next_seq, 2);
+        cleanup(dir);
+    }
+
+    #[test]
+    fn kill_mid_checkpoint_keeps_the_old_state() {
+        let dir = scratch_dir("wrt-kill-ckpt");
+        let kill = KillSwitch::arm(KillPoint::MidCheckpoint, 1);
+        let mut cfg = WalConfig::new(&dir);
+        cfg.kill = Some(kill);
+        let (wal, _) = Wal::open(cfg).unwrap();
+        wal.append(0, vec![(0, 9)]).unwrap();
+        assert_eq!(wal.checkpoint(vec![9]), Err(WalDead));
+        wal.shutdown();
+        let (_, st) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert!(st.values.is_empty(), "half-written checkpoint must lose");
+        assert_eq!(st.records.len(), 1);
+        assert_eq!(st.next_seq, 1);
+        cleanup(dir);
+    }
+
+    #[test]
+    fn kill_mid_truncate_skips_stale_records() {
+        let dir = scratch_dir("wrt-kill-trunc");
+        let kill = KillSwitch::arm(KillPoint::MidTruncate, 1);
+        let mut cfg = WalConfig::new(&dir);
+        cfg.kill = Some(kill);
+        let (wal, _) = Wal::open(cfg).unwrap();
+        wal.append(0, vec![(0, 3)]).unwrap();
+        wal.append(1, vec![(1, 4)]).unwrap();
+        assert_eq!(wal.checkpoint(vec![3, 4]), Err(WalDead));
+        wal.shutdown();
+        let (_, st) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert_eq!(st.values, vec![3, 4], "checkpoint renamed, so it wins");
+        assert!(st.records.is_empty());
+        assert_eq!(st.report.skipped_stale, 2);
+        assert!(st.report.completed_truncation);
+        assert_eq!(st.next_seq, 2);
+        cleanup(dir);
+    }
+}

@@ -26,12 +26,13 @@ fn main() {
         heap_words: cfg.heap_words(),
         max_threads: cfg.worker_threads(),
     }));
+    let keys = cfg.keys;
     let kv = TxKv::start(tm, cfg).expect("start txkv");
 
     // Seed every account so transfers have funds to move.
     let heap = kv.backend().heap();
     let table = kv.table();
-    for k in 0..cfg.keys {
+    for k in 0..keys {
         heap.store_direct(table + k as usize, 1_000);
     }
 
@@ -47,7 +48,7 @@ fn main() {
                     x
                 };
                 for i in 0..OPS_PER_CLIENT {
-                    let key = rand() % cfg.keys;
+                    let key = rand() % keys;
                     let req = match i % 5 {
                         0 => Request::Put {
                             key,
@@ -56,11 +57,11 @@ fn main() {
                         1 => Request::Add { key, delta: 1 },
                         2 => Request::Transfer {
                             from: key,
-                            to: rand() % cfg.keys,
+                            to: rand() % keys,
                             amount: rand() % 8 + 1,
                         },
                         3 => Request::MultiGet {
-                            keys: (0..4).map(|_| rand() % cfg.keys).collect(),
+                            keys: (0..4).map(|_| rand() % keys).collect(),
                         },
                         _ => Request::Get { key },
                     };

@@ -21,6 +21,7 @@
 //! | [`stamp`] | `rococo-stamp` | the STAMP port and run harness (Fig. 10) |
 //! | [`sim`] | `rococo-sim` | virtual-time multicore simulator for speedup studies on small hosts |
 //! | [`server`] | `rococo-server` | TxKV: sharded transactional KV service with admission control, bounded retry, and latency/abort observability |
+//! | [`wal`] | `rococo-wal` | write-ahead log: group commit, checkpoints, torn-tail recovery, crash-point injection |
 //!
 //! # Quickstart
 //!
@@ -49,3 +50,4 @@ pub use rococo_sim as sim;
 pub use rococo_stamp as stamp;
 pub use rococo_stm as stm;
 pub use rococo_trace as trace;
+pub use rococo_wal as wal;

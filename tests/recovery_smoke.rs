@@ -1,0 +1,80 @@
+//! Tier-1 recovery smoke: a fast slice of the crash-recovery chaos
+//! matrix. The full kill-point × fsync-mode sweep lives behind
+//! `ci.sh --recovery` (the `recovery` binary's `--matrix` mode); this
+//! file keeps one representative of each failure family in the default
+//! test run so a durability regression cannot land silently.
+
+use rococo_chaos::{run_recovery, RecoveryParams};
+use rococo_wal::{FsyncPolicy, KillPoint};
+
+fn smoke(params: RecoveryParams) {
+    let report = run_recovery(&params);
+    assert!(
+        report.ok(),
+        "{}\n{:#?}",
+        report.summary(),
+        report.violations
+    );
+}
+
+#[test]
+fn clean_shutdown_recovers_exactly() {
+    smoke(RecoveryParams {
+        kill_point: None,
+        clients: 2,
+        ops_per_client: 50,
+        ..RecoveryParams::default()
+    });
+}
+
+#[test]
+fn torn_tail_is_truncated_not_trusted() {
+    // Mid-append is the torn-write family: recovery must cut the log at
+    // the first bad frame and keep everything acked before it.
+    smoke(RecoveryParams {
+        seed: 3,
+        kill_point: Some(KillPoint::MidAppend),
+        ops_per_client: 120,
+        ..RecoveryParams::default()
+    });
+}
+
+#[test]
+fn lost_acks_never_mean_lost_data() {
+    // Post-append-pre-ack: the writes are durable but the clients saw
+    // failures — recovery may keep them, must lose none that were acked.
+    smoke(RecoveryParams {
+        seed: 7,
+        kill_point: Some(KillPoint::PostAppendPreAck),
+        ops_per_client: 120,
+        ..RecoveryParams::default()
+    });
+}
+
+#[test]
+fn checkpoint_crash_keeps_the_previous_state() {
+    // Mid-checkpoint with tight checkpoint cadence: the half-written
+    // temp snapshot must never win over the old checkpoint + log.
+    smoke(RecoveryParams {
+        seed: 11,
+        kill_point: Some(KillPoint::MidCheckpoint),
+        ops_per_client: 150,
+        checkpoint_every: 24,
+        fsync: FsyncPolicy::EveryN(4),
+        ..RecoveryParams::default()
+    });
+}
+
+#[test]
+fn untruncated_log_skips_stale_records() {
+    // Mid-truncate: the new checkpoint is durable but the log still has
+    // records below it; recovery must skip the stale prefix.
+    smoke(RecoveryParams {
+        seed: 13,
+        kill_point: Some(KillPoint::MidTruncate),
+        ops_per_client: 150,
+        checkpoint_every: 24,
+        fsync: FsyncPolicy::Never,
+        ..RecoveryParams::default()
+    });
+}
