@@ -9,6 +9,8 @@
 #   ./ci.sh --recovery # + the crash-recovery tier: the seeded kill-point x
 #                      #   fsync-mode matrix (WAL writer killed under load,
 #                      #   recovery checked for prefix consistency)
+#   ./ci.sh --lint-json # + write the machine-readable lint report to
+#                      #   LINT_report.json (CI artifact)
 #
 # The nightly job sets CHAOS_EXTENDED=1, which widens the stress tier to
 # the full seed sweep and the hostile commit-queue geometries.
@@ -17,10 +19,12 @@ cd "$(dirname "$0")"
 
 STRESS=0
 RECOVERY=0
+LINT_JSON=0
 for arg in "$@"; do
   case "$arg" in
     --stress) STRESS=1 ;;
     --recovery) RECOVERY=1 ;;
+    --lint-json) LINT_JSON=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -30,6 +34,13 @@ cargo fmt --all -- --check
 
 echo "== cargo clippy (workspace, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rococo-lint (TM-safety invariants; per-rule timing below)"
+cargo run --release -q -p rococo-lint -- --root .
+if [[ "$LINT_JSON" == "1" ]]; then
+  cargo run --release -q -p rococo-lint -- --root . --json > LINT_report.json
+  echo "wrote LINT_report.json"
+fi
 
 echo "== tier-1: release build + tests"
 cargo build --release

@@ -498,9 +498,16 @@ fn write_json(cfg: &LoadCfg, results: &[RunResult]) {
         r.to_json(&mut out);
     }
     out.push_str("]}\n");
-    match std::fs::write(&cfg.json_path, &out) {
+    // Write-then-rename so a crash (or a concurrent reader polling the
+    // artifact) never observes a truncated report.
+    let tmp = format!("{}.tmp", cfg.json_path);
+    let res = std::fs::write(&tmp, &out).and_then(|()| std::fs::rename(&tmp, &cfg.json_path));
+    match res {
         Ok(()) => println!("wrote {} ({} runs)", cfg.json_path, results.len()),
-        Err(e) => eprintln!("could not write {}: {e}", cfg.json_path),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            eprintln!("could not write {}: {e}", cfg.json_path);
+        }
     }
 }
 

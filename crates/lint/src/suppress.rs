@@ -1,0 +1,153 @@
+//! The suppression grammar:
+//!
+//! ```text
+//! // rococo-lint: allow(<rule-id>) -- <justification>
+//! ```
+//!
+//! A standalone suppression comment applies to the next line that
+//! carries code; a trailing comment applies to its own line. The
+//! justification is mandatory — a suppression without a reason is an
+//! error (`bad-suppression`), and a suppression that matches no
+//! diagnostic is an error too (`unused-suppression`), so stale allows
+//! can't linger after the offending code is gone. Neither meta-rule can
+//! itself be suppressed.
+
+use crate::diag::Diagnostic;
+use crate::model::FileModel;
+
+/// Meta-rule id for suppressions that matched no diagnostic.
+pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
+/// Meta-rule id for suppressions that do not parse or name an unknown
+/// rule.
+pub const BAD_SUPPRESSION: &str = "bad-suppression";
+
+/// One parsed suppression.
+#[derive(Debug)]
+pub struct Suppression {
+    /// The rule it allows.
+    pub rule: String,
+    /// The line its allowance covers.
+    pub target_line: u32,
+    /// Where the comment itself sits (for unused reporting).
+    pub line: u32,
+    /// Column of the comment.
+    pub col: u32,
+    /// Whether any diagnostic consumed it.
+    pub used: bool,
+}
+
+/// The marker every suppression comment starts with (after `//`).
+const MARKER: &str = "rococo-lint:";
+
+/// Parses all suppressions in `file`. Malformed ones are reported
+/// immediately as `bad-suppression` diagnostics.
+pub fn collect(
+    file: &FileModel,
+    known_rules: &[&'static str],
+) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut sups = Vec::new();
+    let mut bad = Vec::new();
+    for c in &file.comments {
+        let body = c.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix(MARKER) else {
+            continue;
+        };
+        let mut err = |message: String| {
+            bad.push(Diagnostic {
+                file: file.path.clone(),
+                line: c.line,
+                col: c.col,
+                rule: BAD_SUPPRESSION,
+                message,
+            });
+        };
+        let rest = rest.trim();
+        let Some(args) = rest.strip_prefix("allow(").and_then(|r| r.split_once(')')) else {
+            err(format!(
+                "malformed suppression: expected `{MARKER} allow(<rule>) -- <justification>`"
+            ));
+            continue;
+        };
+        let (rule, tail) = args;
+        let rule = rule.trim();
+        if !known_rules.contains(&rule) {
+            err(format!(
+                "suppression names unknown rule `{rule}` (known: {})",
+                known_rules.join(", ")
+            ));
+            continue;
+        }
+        let Some(justification) = tail.trim().strip_prefix("--") else {
+            err(format!(
+                "suppression of `{rule}` is missing the ` -- <justification>` clause"
+            ));
+            continue;
+        };
+        if justification.trim().is_empty() {
+            err(format!(
+                "suppression of `{rule}` has an empty justification"
+            ));
+            continue;
+        }
+        // A trailing comment covers its own line; a standalone comment
+        // covers the next line that carries a token. Consecutive
+        // standalone suppressions all resolve to the same code line, so
+        // one line can stack several allows.
+        let target_line = if c.own_line {
+            file.toks
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > c.line)
+                .unwrap_or(0)
+        } else {
+            c.line
+        };
+        sups.push(Suppression {
+            rule: rule.to_string(),
+            target_line,
+            line: c.line,
+            col: c.col,
+            used: false,
+        });
+    }
+    (sups, bad)
+}
+
+/// Filters `diags` through `sups`: matched diagnostics are dropped and
+/// their suppression marked used. Returns the survivors and the number
+/// of suppressions consumed; unused suppressions are appended to the
+/// survivors as `unused-suppression` errors.
+pub fn apply(
+    file: &FileModel,
+    mut sups: Vec<Suppression>,
+    diags: Vec<Diagnostic>,
+) -> (Vec<Diagnostic>, usize) {
+    let mut kept = Vec::new();
+    for d in diags {
+        let slot = sups
+            .iter_mut()
+            .find(|s| s.rule == d.rule && s.target_line == d.line);
+        match slot {
+            Some(s) => s.used = true,
+            None => kept.push(d),
+        }
+    }
+    let mut used = 0usize;
+    for s in &sups {
+        if s.used {
+            used += 1;
+        } else {
+            kept.push(Diagnostic {
+                file: file.path.clone(),
+                line: s.line,
+                col: s.col,
+                rule: UNUSED_SUPPRESSION,
+                message: format!(
+                    "suppression of `{}` matches no diagnostic on line {} — remove it",
+                    s.rule, s.target_line
+                ),
+            });
+        }
+    }
+    (kept, used)
+}

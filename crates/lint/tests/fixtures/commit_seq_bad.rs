@@ -1,0 +1,22 @@
+// Fixture: durable sequence counters mutated outside the commit
+// critical section.
+
+impl TinyStm {
+    fn begin(&self) -> TinyTx<'_> {
+        let snapshot = self.durable_seq.load(Ordering::SeqCst); // loads are fine
+        self.durable_seq.fetch_add(1, Ordering::SeqCst); // line 7: minted in begin
+        TinyTx::new(self, snapshot)
+    }
+
+    fn commit_seq(&self) -> u64 {
+        self.durable_seq.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    fn recover(&self, tail: u64) {
+        self.durable_seq.store(tail, Ordering::SeqCst); // line 16: rewrites outside
+    }
+}
+
+fn reset_clock(tm: &RococoTm) {
+    tm.global_ts.swap(0, Ordering::SeqCst); // line 21: rewrites outside
+}

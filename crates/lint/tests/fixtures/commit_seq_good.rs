@@ -1,0 +1,28 @@
+// Fixture: disciplined sequence-counter use. Must be clean.
+
+impl TinyStm {
+    fn new() -> Self {
+        Self {
+            durable_seq: AtomicU64::new(0), // field initialiser, not a mutation
+        }
+    }
+
+    fn begin(&self) -> TinyTx<'_> {
+        // Reading the clock is how snapshots begin; loads are always fine.
+        TinyTx::new(self, self.durable_seq.load(Ordering::SeqCst))
+    }
+
+    fn commit_seq(&self) -> u64 {
+        self.durable_seq.fetch_add(1, Ordering::SeqCst) + 1
+    }
+}
+
+impl RococoTm {
+    fn commit_seq(&self, seq: u64) {
+        self.global_ts.store(seq + 1, Ordering::SeqCst);
+    }
+
+    fn snapshot(&self) -> u64 {
+        self.global_ts.load(Ordering::SeqCst)
+    }
+}

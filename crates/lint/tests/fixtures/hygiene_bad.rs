@@ -1,0 +1,7 @@
+//! A crate root that forgot `#![forbid(unsafe_code)]` — the attribute
+//! only appears in this doc comment and in the string below, neither of
+//! which counts.
+
+pub fn api() -> &'static str {
+    "#![forbid(unsafe_code)]"
+}

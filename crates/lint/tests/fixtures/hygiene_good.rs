@@ -1,0 +1,5 @@
+//! A well-formed crate root.
+
+#![forbid(unsafe_code)]
+
+pub fn api() {}

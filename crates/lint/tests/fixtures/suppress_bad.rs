@@ -1,0 +1,26 @@
+// Fixture: every way a suppression can be wrong.
+
+fn unused(x: u64) -> u64 {
+    // rococo-lint: allow(atomic-side-effect) -- nothing on the next line violates anything
+    x + 1
+}
+
+fn missing_justification(tm: &Tm) {
+    // rococo-lint: allow(atomic-side-effect)
+    atomically(tm, 0, |tx| tx.write(0, 1));
+}
+
+fn empty_justification(tm: &Tm) {
+    // rococo-lint: allow(atomic-side-effect) --
+    atomically(tm, 0, |tx| tx.write(0, 1));
+}
+
+fn unknown_rule(tm: &Tm) {
+    // rococo-lint: allow(no-such-rule) -- justification for a rule that does not exist
+    atomically(tm, 0, |tx| tx.write(0, 1));
+}
+
+fn malformed(tm: &Tm) {
+    // rococo-lint: alow(atomic-side-effect) -- typo in the verb
+    atomically(tm, 0, |tx| tx.write(0, 1));
+}

@@ -1,0 +1,27 @@
+// Fixture: violations acknowledged with justified suppressions — the
+// whole file must lint clean.
+
+use rococo_stm::atomically;
+
+fn own_line_suppression(tm: &Tm) {
+    atomically(tm, 0, |tx| {
+        // rococo-lint: allow(atomic-side-effect) -- debug tracing kept deliberately, torn output is acceptable here
+        println!("attempt");
+        tx.write(0, 1)
+    });
+}
+
+fn trailing_suppression(tm: &Tm) {
+    atomically(tm, 0, |tx| {
+        let t = Instant::now(); // rococo-lint: allow(atomic-side-effect) -- coarse attempt timing, monotone clock is abort-safe
+        tx.write(0, t.elapsed().as_nanos() as u64)
+    });
+}
+
+fn one_suppression_covers_the_line(tm: &Tm) {
+    atomically(tm, 0, |tx| {
+        // rococo-lint: allow(atomic-side-effect) -- both effects on the next line are the same accepted tracing hack
+        println!("{:?}", Instant::now());
+        tx.write(0, 1)
+    });
+}

@@ -1,0 +1,22 @@
+// Fixture: abort outcomes minted outside count_abort. Linted under the
+// pretend path crates/stm/src/rococotm.rs so the scoped rule fires.
+
+impl RococoTx<'_> {
+    fn count_abort(&mut self, kind: AbortKind) -> Abort {
+        self.tm.consecutive_aborts[self.thread].fetch_add(1, Ordering::Relaxed);
+        Abort::new(kind)
+    }
+
+    fn validate(&mut self) -> Result<(), Abort> {
+        if self.window_overrun() {
+            return Err(Abort::new(AbortKind::FpgaWindow)); // line 12: bypasses counter
+        }
+        Ok(())
+    }
+
+    fn spin_for_slot(&mut self) -> Result<(), Abort> {
+        Err(Abort {
+            kind: AbortKind::UpdateSetBusy, // line 19 (brace on 18): bypasses counter
+        })
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: every abort flows through count_abort. Linted under the
+// pretend path crates/stm/src/rococotm.rs; must be clean.
+
+impl RococoTx<'_> {
+    fn count_abort(&mut self, kind: AbortKind) -> Abort {
+        self.tm.consecutive_aborts[self.thread].fetch_add(1, Ordering::Relaxed);
+        Abort::new(kind)
+    }
+
+    fn validate(&mut self) -> Result<(), Abort> {
+        if self.window_overrun() {
+            return Err(self.count_abort(AbortKind::FpgaWindow));
+        }
+        Ok(())
+    }
+
+    // A bare `-> Abort {` return type is not a construction site.
+    fn escalation_probe(&mut self) -> Abort {
+        self.count_abort(AbortKind::UpdateSetBusy)
+    }
+}

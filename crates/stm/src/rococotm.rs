@@ -789,6 +789,7 @@ mod tests {
         let mut tx = tm.begin(0);
         // Four commits elsewhere wrap the whole ring: the slot holding the
         // laggard's next sequence is exactly the one being reused.
+        // rococo-lint: allow(commit-seq-outside-critical) -- test forges GlobalTS to simulate four foreign commits without running them
         tm.global_ts.store(4, Ordering::SeqCst);
         let err = tx.read(0).unwrap_err();
         assert_eq!(err.kind, AbortKind::FpgaWindow);
