@@ -49,6 +49,18 @@ cargo test -q
 echo "== workspace tests"
 cargo test --workspace -q
 
+echo "== telemetry smoke (flight recorder + scraper + trace, schema-validated)"
+TLM_DIR="$(mktemp -d)"
+trap 'rm -rf "$TLM_DIR"' EXIT
+# Durable run so the rococo_wal_* namespace is populated alongside the
+# txkv/tm/fpga/faults metrics; telemetry_check verifies all five.
+cargo run --release -q -p rococo-bench --bin txkv_load -- \
+  --backend rococo --ops 20000 --clients 4 --keys 4096 \
+  --durability always --telemetry "$TLM_DIR" --json none
+cargo run --release -q -p rococo-bench --bin telemetry_check -- "$TLM_DIR"
+cp "$TLM_DIR/metrics.json" METRICS_snapshot.json
+echo "wrote METRICS_snapshot.json"
+
 if [[ "$STRESS" == "1" || "${CHAOS_EXTENDED:-0}" == "1" ]]; then
   echo "== chaos stress tier (pinned seeds; CHAOS_EXTENDED=1 for the nightly sweep)"
   cargo run --release -q -p rococo-chaos --bin chaos -- --pinned --quiet

@@ -1,0 +1,169 @@
+//! telemetry_check: schema validation for a `txkv_load --telemetry` dir.
+//!
+//! Usage: `telemetry_check <DIR> [--no-wal] [--no-fpga]`
+//!
+//! Validates the three artifacts a telemetry-enabled run writes:
+//!
+//! * `metrics.prom` — must pass the strict Prometheus text-format
+//!   validator and cover every expected `rococo_*` subsystem namespace
+//!   (txkv, tm, fpga, faults, wal — the latter two gated by flags for
+//!   runs on backends without an FPGA model or without durability).
+//! * `metrics.json` — must parse as JSON with a non-empty `metrics`
+//!   array whose entries carry `name` and `kind` fields.
+//! * `trace.json` — must parse as Chrome trace-event JSON with at least
+//!   one transaction span and, when FPGA metrics are expected, at least
+//!   one Detector stage slice overlapping a transaction span in time.
+//!
+//! Exits 0 on success, 1 with a diagnostic on the first failure — the
+//! CI smoke step runs this against a short durable `txkv_load` run.
+
+use rococo_telemetry::json::Json;
+use rococo_telemetry::{validate_prometheus, FPGA_PID, TX_PID};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("telemetry_check: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let mut dir: Option<PathBuf> = None;
+    let mut expect_wal = true;
+    let mut expect_fpga = true;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--no-wal" => expect_wal = false,
+            "--no-fpga" => expect_fpga = false,
+            "--help" | "-h" => {
+                println!("usage: telemetry_check <DIR> [--no-wal] [--no-fpga]");
+                return ExitCode::SUCCESS;
+            }
+            other if dir.is_none() => dir = Some(PathBuf::from(other)),
+            other => return fail(&format!("unexpected argument {other:?}")),
+        }
+    }
+    let Some(dir) = dir else {
+        return fail("missing telemetry directory argument");
+    };
+
+    // --- metrics.prom -------------------------------------------------
+    let prom = match read(&dir.join("metrics.prom")) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let samples = match validate_prometheus(&prom) {
+        Ok(n) => n,
+        Err(e) => return fail(&format!("metrics.prom: {e}")),
+    };
+    if samples == 0 {
+        return fail("metrics.prom: no samples");
+    }
+    let mut prefixes = vec!["rococo_txkv_", "rococo_tm_"];
+    if expect_fpga {
+        prefixes.extend(["rococo_fpga_", "rococo_faults_"]);
+    }
+    if expect_wal {
+        prefixes.push("rococo_wal_");
+    }
+    for p in &prefixes {
+        if !prom
+            .lines()
+            .any(|l| !l.starts_with('#') && l.starts_with(p))
+        {
+            return fail(&format!("metrics.prom: no sample with prefix {p}"));
+        }
+    }
+
+    // --- metrics.json -------------------------------------------------
+    let mjson = match read(&dir.join("metrics.json")) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let doc = match Json::parse(&mjson) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("metrics.json: {e}")),
+    };
+    let metrics = match doc.get("metrics").and_then(Json::as_arr) {
+        Some(m) if !m.is_empty() => m,
+        _ => return fail("metrics.json: missing or empty \"metrics\" array"),
+    };
+    for m in metrics {
+        if m.get("name").and_then(Json::as_str).is_none()
+            || m.get("kind").and_then(Json::as_str).is_none()
+        {
+            return fail("metrics.json: metric entry missing name/kind");
+        }
+    }
+
+    // --- trace.json ---------------------------------------------------
+    let tjson = match read(&dir.join("trace.json")) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let tdoc = match Json::parse(&tjson) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("trace.json: {e}")),
+    };
+    let events = match tdoc.get("traceEvents").and_then(Json::as_arr) {
+        Some(ev) if !ev.is_empty() => ev,
+        _ => return fail("trace.json: missing or empty \"traceEvents\""),
+    };
+    let span = |e: &Json| -> Option<(u32, f64, f64)> {
+        if e.get("ph").and_then(Json::as_str) != Some("X") {
+            return None;
+        }
+        let pid = e.get("pid")?.as_f64()? as u32;
+        let ts = e.get("ts")?.as_f64()?;
+        let dur = e.get("dur")?.as_f64()?;
+        Some((pid, ts, dur))
+    };
+    let named = |e: &Json, n: &str| e.get("name").and_then(Json::as_str) == Some(n);
+    let tx_spans: Vec<(f64, f64)> = events
+        .iter()
+        .filter(|e| named(e, "tx"))
+        .filter_map(|e| {
+            span(e)
+                .filter(|(p, _, _)| *p == TX_PID)
+                .map(|(_, t, d)| (t, d))
+        })
+        .collect();
+    if tx_spans.is_empty() {
+        return fail("trace.json: no transaction spans (name=\"tx\", pid=TX_PID)");
+    }
+    if expect_fpga {
+        let stage_spans: Vec<(f64, f64)> = events
+            .iter()
+            .filter(|e| named(e, "detector") || named(e, "manager"))
+            .filter_map(|e| {
+                span(e)
+                    .filter(|(p, _, _)| *p == FPGA_PID)
+                    .map(|(_, t, d)| (t, d))
+            })
+            .collect();
+        if stage_spans.is_empty() {
+            return fail("trace.json: no FPGA stage slices (pid=FPGA_PID)");
+        }
+        let overlap = tx_spans.iter().any(|(tts, tdur)| {
+            stage_spans
+                .iter()
+                .any(|(sts, sdur)| *sts < tts + tdur && *tts < sts + sdur)
+        });
+        if !overlap {
+            return fail("trace.json: no FPGA stage slice overlaps a transaction span");
+        }
+    }
+
+    println!(
+        "telemetry_check: OK ({} prom samples, {} JSON metrics, {} trace events, prefixes: {})",
+        samples,
+        metrics.len(),
+        events.len(),
+        prefixes.join(" ")
+    );
+    ExitCode::SUCCESS
+}

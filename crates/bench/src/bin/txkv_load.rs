@@ -27,7 +27,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rococo_bench::banner;
 use rococo_server::{
-    DurabilityConfig, PendingReply, Request, Response, TxKv, TxKvConfig, TxKvError,
+    DurabilityConfig, PendingReply, Request, Response, TelemetryConfig, TxKv, TxKvConfig, TxKvError,
 };
 use rococo_stm::{RococoTm, TinyStm, TmConfig, TmSystem, TsxHtm};
 use rococo_trace::ZipfSampler;
@@ -83,6 +83,12 @@ struct LoadCfg {
     queue_capacity: usize,
     durability: Vec<Durability>,
     json_path: String,
+    /// Telemetry artifact directory: enables the flight recorder, the
+    /// service's metric scraper, and the Perfetto trace export.
+    telemetry: Option<String>,
+    /// Run each configuration twice — flight recorder off, then on — so
+    /// the JSON report carries a before/after throughput pair.
+    compare_telemetry: bool,
 }
 
 impl Default for LoadCfg {
@@ -101,6 +107,8 @@ impl Default for LoadCfg {
             queue_capacity: 256,
             durability: vec![Durability::None],
             json_path: "BENCH_txkv.json".into(),
+            telemetry: None,
+            compare_telemetry: false,
         }
     }
 }
@@ -141,13 +149,16 @@ fn parse_args() -> LoadCfg {
                     .collect();
             }
             "--json" => cfg.json_path = value("--json"),
+            "--telemetry" => cfg.telemetry = Some(value("--telemetry")),
+            "--compare-telemetry" => cfg.compare_telemetry = true,
             "--quick" => cfg.ops = 100_000,
             "--help" | "-h" => {
                 println!(
                     "txkv_load [--backend tinystm|htm|rococo|both|all] [--ops N] \
                      [--shards N] [--workers N] [--clients N] [--keys N] [--theta F] \
                      [--read-pct P] [--mode closed|open] [--rate R] [--queue N] \
-                     [--durability none,always,everyN,never] [--json PATH|none] [--quick]"
+                     [--durability none,always,everyN,never] [--json PATH|none] \
+                     [--telemetry DIR] [--compare-telemetry] [--quick]"
                 );
                 std::process::exit(0);
             }
@@ -307,6 +318,9 @@ struct RunResult {
     p50_ns: u64,
     p99_ns: u64,
     p999_ns: u64,
+    /// Whether the transaction flight recorder was enabled for this run
+    /// (the before/after pair `--compare-telemetry` produces).
+    flight_recorder: bool,
     wal: Option<rococo_wal::WalSnapshot>,
 }
 
@@ -319,7 +333,8 @@ impl RunResult {
             out,
             "{{\"backend\":\"{}\",\"durability\":\"{}\",\"elapsed_s\":{:.3},\
              \"committed\":{},\"throughput_rps\":{:.1},\"shed\":{},\"failed\":{},\
-             \"abort_rate\":{:.5},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{}",
+             \"abort_rate\":{:.5},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\
+             \"flight_recorder\":{}",
             self.backend,
             self.durability,
             self.elapsed_s,
@@ -331,6 +346,7 @@ impl RunResult {
             self.p50_ns,
             self.p99_ns,
             self.p999_ns,
+            self.flight_recorder,
         );
         match &self.wal {
             Some(w) => {
@@ -356,11 +372,16 @@ fn run_backend<S: TmSystem + 'static>(
     system: Arc<S>,
     cfg: &LoadCfg,
     durability: Durability,
+    recorder_on: bool,
 ) -> RunResult {
     let wal_dir = match durability {
         Durability::None => None,
         Durability::Wal(_) => Some(rococo_wal::scratch_dir("txkv-load")),
     };
+    let telemetry_dir = cfg.telemetry.as_ref().map(std::path::PathBuf::from);
+    if recorder_on {
+        rococo_telemetry::enable(rococo_telemetry::DEFAULT_RING_EVENTS);
+    }
     let kv_cfg = TxKvConfig {
         shards: cfg.shards,
         workers_per_shard: cfg.workers_per_shard,
@@ -375,11 +396,15 @@ fn run_backend<S: TmSystem + 'static>(
             }),
             _ => None,
         },
+        telemetry: telemetry_dir
+            .as_ref()
+            .filter(|_| recorder_on)
+            .map(|d| TelemetryConfig::new(d.clone())),
         ..TxKvConfig::default()
     };
     let kv = TxKv::start(system, kv_cfg).expect("service start");
     banner(&format!(
-        "txkv_load on {} ({} shards x {} workers, {} {} clients, durability={})",
+        "txkv_load on {} ({} shards x {} workers, {} {} clients, durability={}, recorder={})",
         kv.backend().name(),
         cfg.shards,
         cfg.workers_per_shard,
@@ -389,6 +414,7 @@ fn run_backend<S: TmSystem + 'static>(
             Mode::Open => "open-loop",
         },
         durability.name(),
+        if recorder_on { "on" } else { "off" },
     ));
 
     // Seed every account with a balance so transfers mostly succeed.
@@ -451,6 +477,30 @@ fn run_backend<S: TmSystem + 'static>(
         );
     }
 
+    // Export the flight-recorder artifacts: the Perfetto trace of every
+    // recorded transaction plus any anomaly dumps taken during the run.
+    if recorder_on {
+        if let Some(dir) = &telemetry_dir {
+            let _ = std::fs::create_dir_all(dir);
+            let events = rococo_telemetry::drain_events();
+            let lanes = rococo_telemetry::lane_names();
+            let trace = rococo_telemetry::build_tx_trace(&events, &lanes);
+            match std::fs::write(dir.join("trace.json"), trace) {
+                Ok(()) => println!(
+                    "wrote {} ({} events)",
+                    dir.join("trace.json").display(),
+                    events.len()
+                ),
+                Err(e) => eprintln!("could not write trace.json: {e}"),
+            }
+            for (i, dump) in rococo_telemetry::take_dumps().iter().enumerate() {
+                let name = format!("anomaly-{i}-{}.txt", dump.reason);
+                let _ = std::fs::write(dir.join(name), dump.to_text());
+            }
+        }
+        rococo_telemetry::disable();
+    }
+
     if let Some(dir) = wal_dir {
         let _ = std::fs::remove_dir_all(dir);
     }
@@ -466,6 +516,7 @@ fn run_backend<S: TmSystem + 'static>(
         p50_ns: stats.latency.p50_ns,
         p99_ns: stats.latency.p99_ns,
         p999_ns: stats.latency.p999_ns,
+        flight_recorder: recorder_on,
         wal: report.wal.clone(),
     }
 }
@@ -530,30 +581,45 @@ fn main() {
             cfg.backend
         );
     }
+    // --compare-telemetry runs each configuration twice (flight
+    // recorder off, then on) so the JSON report carries a before/after
+    // throughput pair; otherwise one pass, recorder on iff --telemetry.
+    let recorder_passes: &[bool] = if cfg.compare_telemetry {
+        &[false, true]
+    } else if cfg.telemetry.is_some() {
+        &[true]
+    } else {
+        &[false]
+    };
     let mut results = Vec::new();
     for &durability in &cfg.durability {
-        // A fresh backend per run: durable mode requires one, and it
-        // keeps in-memory runs comparable (no warmed-up metadata).
-        if run_tiny {
-            results.push(run_backend(
-                Arc::new(TinyStm::with_config(tm_cfg)),
-                &cfg,
-                durability,
-            ));
-        }
-        if run_htm {
-            results.push(run_backend(
-                Arc::new(TsxHtm::with_config(tm_cfg)),
-                &cfg,
-                durability,
-            ));
-        }
-        if run_rococo {
-            results.push(run_backend(
-                Arc::new(RococoTm::with_config(tm_cfg)),
-                &cfg,
-                durability,
-            ));
+        for &recorder_on in recorder_passes {
+            // A fresh backend per run: durable mode requires one, and it
+            // keeps in-memory runs comparable (no warmed-up metadata).
+            if run_tiny {
+                results.push(run_backend(
+                    Arc::new(TinyStm::with_config(tm_cfg)),
+                    &cfg,
+                    durability,
+                    recorder_on,
+                ));
+            }
+            if run_htm {
+                results.push(run_backend(
+                    Arc::new(TsxHtm::with_config(tm_cfg)),
+                    &cfg,
+                    durability,
+                    recorder_on,
+                ));
+            }
+            if run_rococo {
+                results.push(run_backend(
+                    Arc::new(RococoTm::with_config(tm_cfg)),
+                    &cfg,
+                    durability,
+                    recorder_on,
+                ));
+            }
         }
     }
     write_json(&cfg, &results);

@@ -12,7 +12,8 @@ use crate::oracle::{check_history, OracleInput};
 use crate::workload::{apply_op, gen_ops, Layout, INITIAL_BALANCE};
 use rococo_fpga::{FaultConfig, FaultSnapshot};
 use rococo_stm::{
-    try_atomically, GlobalLockTm, RococoConfig, RococoTm, TinyStm, TmConfig, TmSystem, TsxHtm,
+    try_atomically, AbortKind, GlobalLockTm, RococoConfig, RococoTm, TinyStm, TmConfig, TmSystem,
+    TsxHtm,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -167,6 +168,10 @@ pub struct ChaosReport {
     pub max_failed_streak: u32,
     /// Injected-fault counters, when the backend ran with injection.
     pub injected: Option<FaultSnapshot>,
+    /// Abort causes with non-zero counts, in [`AbortKind::ALL`] order,
+    /// labelled with the canonical [`AbortKind::as_label`] spelling used
+    /// by server reports and telemetry metric labels.
+    pub abort_breakdown: Vec<(&'static str, u64)>,
     /// Oracle violations; empty means the run passed.
     pub violations: Vec<String>,
 }
@@ -180,7 +185,7 @@ impl ChaosReport {
     /// One-line summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} seed={} threads={} ops={} faults={}: {} commits, {} aborts, streak {}{} -> {}",
+            "{} seed={} threads={} ops={} faults={}: {} commits, {} aborts{}, streak {}{} -> {}",
             self.params.backend.name(),
             self.params.seed,
             self.params.threads,
@@ -188,6 +193,16 @@ impl ChaosReport {
             self.params.faults.name(),
             self.commits,
             self.aborts,
+            if self.abort_breakdown.is_empty() {
+                String::new()
+            } else {
+                let parts: Vec<String> = self
+                    .abort_breakdown
+                    .iter()
+                    .map(|(label, n)| format!("{label}={n}"))
+                    .collect();
+                format!(" [{}]", parts.join(" "))
+            },
             self.max_failed_streak,
             match &self.injected {
                 Some(f) if f.total() > 0 => format!(", {} injected faults", f.total()),
@@ -271,6 +286,9 @@ fn run_on<S: TmSystem + 'static>(system: S, params: &ChaosParams, layout: &Layou
                                 max_streak = max_streak.max(streak);
                                 if streak >= ATTEMPT_CAP {
                                     livelocked.store(true, Ordering::Relaxed);
+                                    // The capped worker's own ring is the
+                                    // history that explains the livelock.
+                                    rococo_telemetry::dump_anomaly("livelock-cap");
                                     break 'ops;
                                 }
                                 // Tiny bounded backoff; long waits would
@@ -283,6 +301,7 @@ fn run_on<S: TmSystem + 'static>(system: S, params: &ChaosParams, layout: &Layou
                     }
                 }
                 *streak_out = max_streak;
+                rococo_telemetry::flush_thread();
             }));
         }
         for h in handles {
@@ -346,12 +365,25 @@ fn run_on<S: TmSystem + 'static>(system: S, params: &ChaosParams, layout: &Layou
         ));
     }
 
+    // Per-cause abort counts from the runtime's own stats, under the
+    // canonical labels — the same spelling server reports and telemetry
+    // metrics use, so reproducer output cross-references directly.
+    let stats = recorder.stats().snapshot();
+    let abort_breakdown: Vec<(&'static str, u64)> = AbortKind::ALL
+        .iter()
+        .filter_map(|k| {
+            let n = stats.aborts.get(k).copied().unwrap_or(0);
+            (n > 0).then_some((k.as_label(), n))
+        })
+        .collect();
+
     ChaosReport {
         params: *params,
         commits,
         aborts,
         max_failed_streak,
         injected: recorder.injected_faults(),
+        abort_breakdown,
         violations,
     }
 }

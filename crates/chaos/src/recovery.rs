@@ -156,6 +156,7 @@ fn service_config(
             checkpoint_every: params.checkpoint_every,
             kill,
         }),
+        telemetry: None,
     }
 }
 

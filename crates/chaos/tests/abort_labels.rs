@@ -1,0 +1,86 @@
+//! Three-surface abort-label agreement: the server report, the chaos
+//! reproducer summary, and the telemetry metric labels must all spell
+//! every abort cause with the canonical [`AbortKind::as_label`] string —
+//! an operator grepping a dashboard, a crash report and a chaos log must
+//! never meet three names for one phenomenon.
+
+use rococo_chaos::{run_chaos, BackendKind, ChaosParams, FaultPreset};
+use rococo_server::ShardSnapshot;
+use rococo_stm::{AbortKind, StatsSnapshot};
+use rococo_telemetry::MetricsRegistry;
+use std::collections::BTreeSet;
+
+fn canonical() -> BTreeSet<&'static str> {
+    AbortKind::ALL.iter().map(|k| k.as_label()).collect()
+}
+
+/// `kind="..."` label values appearing in rendered Prometheus text.
+fn kinds_in_prometheus(text: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        let mut rest = line;
+        while let Some(pos) = rest.find("kind=\"") {
+            let tail = &rest[pos + 6..];
+            let Some(end) = tail.find('"') else { break };
+            out.insert(tail[..end].to_string());
+            rest = &tail[end..];
+        }
+    }
+    out
+}
+
+#[test]
+fn server_report_uses_canonical_labels() {
+    let mut snap = ShardSnapshot::default();
+    for (i, n) in snap.aborts.iter_mut().enumerate() {
+        *n = i as u64 + 1;
+    }
+    let labels: BTreeSet<&'static str> = snap.abort_breakdown().iter().map(|&(l, _)| l).collect();
+    assert_eq!(labels, canonical());
+}
+
+#[test]
+fn chaos_summary_uses_canonical_labels() {
+    let params = ChaosParams {
+        seed: 11,
+        backend: BackendKind::Rococo,
+        threads: 4,
+        ops_per_thread: 200,
+        accounts: 2,
+        faults: FaultPreset::Aggressive,
+        ..ChaosParams::default()
+    };
+    let report = run_chaos(&params);
+    assert!(report.ok(), "chaos run failed: {:?}", report.violations);
+    assert!(
+        !report.abort_breakdown.is_empty(),
+        "contended faulted run must record abort causes"
+    );
+    let canon = canonical();
+    for (label, n) in &report.abort_breakdown {
+        assert!(
+            canon.contains(label),
+            "chaos label {label:?} ({n} aborts) is not a canonical AbortKind label"
+        );
+        assert!(
+            report.summary().contains(label),
+            "summary must spell out {label:?}: {}",
+            report.summary()
+        );
+    }
+}
+
+#[test]
+fn metric_labels_match_canonical_labels() {
+    // Both abort-kind metric families — the TM runtime's and the
+    // service's — must emit exactly the canonical label set.
+    let canon: BTreeSet<String> = canonical().into_iter().map(String::from).collect();
+
+    let mut reg = MetricsRegistry::new();
+    StatsSnapshot::default().export_metrics(&mut reg);
+    assert_eq!(kinds_in_prometheus(&reg.render_prometheus()), canon);
+
+    let mut reg = MetricsRegistry::new();
+    ShardSnapshot::default().export_metrics(&mut reg, &[]);
+    assert_eq!(kinds_in_prometheus(&reg.render_prometheus()), canon);
+}

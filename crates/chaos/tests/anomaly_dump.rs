@@ -1,0 +1,85 @@
+//! Forced-escalation anomaly dump: drive ROCoCoTM into irrevocability
+//! escalation under the chaos harness and assert the flight recorder
+//! captured the full event history leading up to it.
+//!
+//! Lives in its own integration-test binary because the recorder is
+//! process-global (per-thread lanes, one enable generation).
+
+use rococo_chaos::{run_chaos, BackendKind, ChaosParams, FaultPreset};
+use rococo_telemetry::{take_dumps, TxEvent};
+
+#[test]
+fn escalation_dump_contains_the_attempt_history() {
+    // A ring large enough that no lane wraps during the run, so each
+    // dump is the lane's *complete* history (`dropped == 0` below).
+    rococo_telemetry::enable(1 << 16);
+
+    // Two accounts, aggressive fault injection, and an escalation
+    // threshold of 2: spurious verdicts guarantee some worker hits two
+    // consecutive aborts and escalates, which dumps its lane history.
+    let params = ChaosParams {
+        seed: 7,
+        backend: BackendKind::Rococo,
+        threads: 4,
+        ops_per_thread: 300,
+        accounts: 2,
+        faults: FaultPreset::Aggressive,
+        irrevocable_after: 2,
+        ..ChaosParams::default()
+    };
+    let report = run_chaos(&params);
+    assert!(report.ok(), "chaos run failed: {:?}", report.violations);
+    assert!(report.aborts > 0, "contended run must abort at least once");
+
+    let dumps = take_dumps();
+    rococo_telemetry::disable();
+
+    let escalations: Vec<_> = dumps
+        .iter()
+        .filter(|d| d.reason == "irrevocability-escalation")
+        .collect();
+    assert!(
+        !escalations.is_empty(),
+        "no escalation dump despite irrevocable_after=2 under aggressive faults \
+         ({} aborts, {} dumps: {:?})",
+        report.aborts,
+        dumps.len(),
+        dumps.iter().map(|d| d.reason).collect::<Vec<_>>()
+    );
+
+    for dump in escalations {
+        // The dump is the lane's buffered history at the moment of
+        // escalation: it must contain the triggering Escalated event,
+        // the >= 2 aborts that drove the counter there, and the Begin
+        // of at least one of those attempts.
+        let escalated = dump.events.iter().rev().find_map(|e| match e.event {
+            TxEvent::Escalated { consecutive_aborts } => Some(consecutive_aborts),
+            _ => None,
+        });
+        let consecutive =
+            escalated.expect("escalation dump must contain an Escalated event") as usize;
+        assert!(consecutive >= 2, "escalated after {consecutive} aborts");
+
+        let aborts = dump
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, TxEvent::Abort { .. }))
+            .count();
+        assert!(
+            aborts >= 2,
+            "history holds {aborts} aborts, expected >= 2 ({})",
+            dump.to_text()
+        );
+        assert!(
+            dump.events
+                .iter()
+                .any(|e| matches!(e.event, TxEvent::Begin)),
+            "history must include an attempt Begin:\n{}",
+            dump.to_text()
+        );
+        // Complete history (ring large enough for this run length).
+        assert_eq!(dump.dropped, 0, "ring wrapped; events were lost");
+        // Every event in a dump belongs to the dumping lane.
+        assert!(dump.events.iter().all(|e| e.lane == dump.lane));
+    }
+}

@@ -111,6 +111,35 @@ impl EngineStats {
             self.aborts() as f64 / self.requests as f64
         }
     }
+
+    /// Publishes the engine counters into a metrics registry under the
+    /// unified `rococo_fpga_*` namespace.
+    pub fn export_metrics(&self, reg: &mut rococo_telemetry::MetricsRegistry) {
+        reg.counter(
+            "rococo_fpga_requests_total",
+            "Validation requests processed by the FPGA engine",
+            &[],
+            self.requests,
+        );
+        reg.counter(
+            "rococo_fpga_commits_total",
+            "Commit verdicts granted by the FPGA engine",
+            &[],
+            self.commits,
+        );
+        reg.counter(
+            "rococo_fpga_aborts_total",
+            "Abort verdicts by cause",
+            &[("kind", "cycle")],
+            self.aborts_cycle,
+        );
+        reg.counter(
+            "rococo_fpga_aborts_total",
+            "Abort verdicts by cause",
+            &[("kind", "window")],
+            self.aborts_window,
+        );
+    }
 }
 
 /// The functional FPGA model: conflict Detector plus ROCoCo Manager.

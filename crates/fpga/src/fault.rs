@@ -165,6 +165,21 @@ impl FaultSnapshot {
     pub fn spurious_aborts(&self) -> u64 {
         self.spurious_cycle + self.spurious_window
     }
+
+    /// Publishes the injected-fault counters into a metrics registry under
+    /// the unified `rococo_faults_*` namespace, one `kind` label per class.
+    pub fn export_metrics(&self, reg: &mut rococo_telemetry::MetricsRegistry) {
+        const HELP: &str = "Faults injected into the validation service, by class";
+        for (kind, n) in [
+            ("delay", self.delayed),
+            ("reorder", self.reordered),
+            ("spurious-cycle", self.spurious_cycle),
+            ("spurious-window", self.spurious_window),
+            ("pause", self.pauses),
+        ] {
+            reg.counter("rococo_faults_injected_total", HELP, &[("kind", kind)], n);
+        }
+    }
 }
 
 /// The deterministic decision stream: an xoshiro-class generator owned by

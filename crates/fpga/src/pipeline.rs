@@ -58,6 +58,24 @@ impl TimingModel {
         self.cci_read_ns + self.cci_write_ns + cycles as f64 * self.cycle_ns()
     }
 
+    /// Model time the Detector occupies for a request carrying `addrs`
+    /// addresses: payload streaming (one extra cycle per cache line past the
+    /// first) plus the Detector pipeline depth. Together with
+    /// [`manager_ns`](Self::manager_ns) this partitions the on-FPGA portion
+    /// of [`latency_ns`](Self::latency_ns):
+    /// `cci_read_ns + detector_ns + manager_ns + cci_write_ns == latency_ns`.
+    pub fn detector_ns(&self, addrs: usize) -> f64 {
+        let lines = addrs.div_ceil(8).max(1) as u32;
+        let cycles = self.detector_stages + (lines - 1) * self.cycles_per_extra_line;
+        cycles as f64 * self.cycle_ns()
+    }
+
+    /// Model time the Manager stage occupies (independent of request size:
+    /// `p`/`s` computation and the matrix update are bit-parallel).
+    pub fn manager_ns(&self) -> f64 {
+        self.manager_stages as f64 * self.cycle_ns()
+    }
+
     /// Minimum initiation interval between back-to-back validations, in
     /// nanoseconds. The pipeline is fully pipelined (II = 1 cycle) except
     /// that multi-line payloads occupy the ingress for extra cycles.
@@ -146,6 +164,12 @@ impl PipelinedValidator {
         self.stats
     }
 
+    /// Model time at which the ingress port next becomes free — the
+    /// queueing state a trace exporter needs to place stage slices.
+    pub fn ingress_free_at_ns(&self) -> f64 {
+        self.ingress_free_at_ns
+    }
+
     /// Processes `req` arriving at model time `arrival_ns`; returns the
     /// verdict and the model time at which the CPU observes it.
     pub fn process_at(&mut self, req: &ValidateRequest, arrival_ns: f64) -> (FpgaVerdict, f64) {
@@ -206,6 +230,19 @@ mod tests {
             "512-address validation only {} ns slower",
             large - small
         );
+    }
+
+    #[test]
+    fn stage_breakdown_partitions_latency() {
+        let t = TimingModel::default();
+        for addrs in [1, 2, 8, 9, 64, 512] {
+            let parts = t.cci_read_ns + t.detector_ns(addrs) + t.manager_ns() + t.cci_write_ns;
+            assert!(
+                (parts - t.latency_ns(addrs)).abs() < 1e-9,
+                "addrs={addrs}: {parts} vs {}",
+                t.latency_ns(addrs)
+            );
+        }
     }
 
     #[test]

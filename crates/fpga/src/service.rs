@@ -255,6 +255,7 @@ impl Injector {
     fn maybe_pause(&mut self) {
         if self.rng.hit(self.cfg.pause_prob) {
             self.stats.pauses.fetch_add(1, Ordering::Relaxed);
+            rococo_telemetry::tlm_event!(rococo_telemetry::TxEvent::Fault { kind: "pause" });
             std::thread::sleep(Duration::from_micros(self.cfg.pause_us));
         }
     }
@@ -265,10 +266,16 @@ impl Injector {
     fn maybe_spurious(&mut self) -> Option<FpgaVerdict> {
         if self.rng.hit(self.cfg.spurious_cycle_prob) {
             self.stats.spurious_cycle.fetch_add(1, Ordering::Relaxed);
+            rococo_telemetry::tlm_event!(rococo_telemetry::TxEvent::Fault {
+                kind: "spurious-cycle"
+            });
             return Some(FpgaVerdict::AbortCycle);
         }
         if self.rng.hit(self.cfg.spurious_window_prob) {
             self.stats.spurious_window.fetch_add(1, Ordering::Relaxed);
+            rococo_telemetry::tlm_event!(rococo_telemetry::TxEvent::Fault {
+                kind: "spurious-window"
+            });
             return Some(FpgaVerdict::AbortWindowOverflow);
         }
         None
@@ -278,6 +285,7 @@ impl Injector {
     fn maybe_delay(&mut self) {
         if self.rng.hit(self.cfg.delay_prob) {
             self.stats.delayed.fetch_add(1, Ordering::Relaxed);
+            rococo_telemetry::tlm_event!(rococo_telemetry::TxEvent::Fault { kind: "delay" });
             std::thread::sleep(Duration::from_micros(self.cfg.delay_us));
         }
     }
@@ -347,6 +355,9 @@ fn run_engine(
                 }
                 if inject && held.is_none() && injector.maybe_hold() {
                     injector.stats.reordered.fetch_add(1, Ordering::Relaxed);
+                    rococo_telemetry::tlm_event!(rococo_telemetry::TxEvent::Fault {
+                        kind: "reorder"
+                    });
                     held = Some((req, reply));
                     continue;
                 }
@@ -372,6 +383,9 @@ fn run_engine(
     if let Some((hreq, hreply)) = held.take() {
         serve(&mut engine, &mut injector, hreq, hreply, inject);
     }
+    // Hand buffered fault events to the flight recorder's collector
+    // before this thread (and its lane) goes away.
+    rococo_telemetry::flush_thread();
     engine.stats()
 }
 

@@ -16,6 +16,17 @@
 //! and `RwLock::read`/`write` cannot be flagged because they collide
 //! with `Transaction::read`/`write`. `.lock()` is flagged; so is every
 //! direct use in the body.
+//!
+//! **Telemetry allowlist.** Flight-recorder emission is the one side
+//! effect that is *designed* to run inside atomic closures: it is
+//! re-execution-safe (each attempt's events go to a bounded per-thread
+//! ring; an aborted attempt's events simply document that attempt). Two
+//! shapes are therefore exempt: the argument list of a `tlm_event!(..)`
+//! macro invocation, and the argument list of any call whose path starts
+//! with `rococo_telemetry::` (e.g. `rococo_telemetry::emit(..)`,
+//! `rococo_telemetry::enabled()`). The exemption covers *only* those
+//! token ranges — a `println!` next to a `tlm_event!` in the same
+//! closure is still flagged.
 
 use super::Rule;
 use crate::diag::Diagnostic;
@@ -78,8 +89,12 @@ impl Rule for AtomicSideEffect {
     }
 
     fn check(&self, file: &FileModel, out: &mut Vec<Diagnostic>) {
+        let allowed = telemetry_ranges(file);
         for closure in &file.closures {
             for i in closure.start..=closure.end.min(file.toks.len().saturating_sub(1)) {
+                if allowed.iter().any(|&(lo, hi)| lo <= i && i <= hi) {
+                    continue;
+                }
                 if let Some(what) = match_effect(file, i) {
                     let t = &file.toks[i];
                     out.push(Diagnostic {
@@ -98,6 +113,74 @@ impl Rule for AtomicSideEffect {
             }
         }
     }
+}
+
+/// Token ranges (inclusive) exempt as telemetry emission: `tlm_event!`
+/// macro invocations and `rococo_telemetry::`-pathed calls, each from
+/// its first path/macro token through the matching closing delimiter of
+/// its argument list.
+fn telemetry_ranges(file: &FileModel) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let n = file.toks.len();
+    let mut i = 0;
+    while i < n {
+        // `tlm_event!( .. )` / `rococo_telemetry::tlm_event![ .. ]` —
+        // the macro name may itself be reached through a path; handling
+        // the bare name covers both.
+        if file.is_ident(i, "tlm_event") && file.is_punct(i + 1, b'!') {
+            if let Some(close) = match_delims(file, i + 2) {
+                out.push((i, close));
+                i = close + 1;
+                continue;
+            }
+        }
+        // `rococo_telemetry::seg::..::name( .. )`.
+        if file.is_ident(i, "rococo_telemetry") && file.is_punct(i + 1, b':') {
+            let mut j = i + 1;
+            while file.is_punct(j, b':') && file.is_punct(j + 1, b':') {
+                j += 2;
+                if !file
+                    .toks
+                    .get(j)
+                    .is_some_and(|t| t.kind == crate::lexer::TokKind::Ident)
+                {
+                    break;
+                }
+                j += 1;
+            }
+            // Macro form through the path: `rococo_telemetry::tlm_event!(..)`.
+            if file.is_punct(j, b'!') {
+                j += 1;
+            }
+            if let Some(close) = match_delims(file, j) {
+                out.push((i, close));
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// If token `open` is an opening delimiter, returns the index of its
+/// matching closing delimiter (nesting-aware across all bracket kinds).
+fn match_delims(file: &FileModel, open: usize) -> Option<usize> {
+    if !(file.is_punct(open, b'(') || file.is_punct(open, b'[') || file.is_punct(open, b'{')) {
+        return None;
+    }
+    let mut depth = 0usize;
+    for i in open..file.toks.len() {
+        if file.is_punct(i, b'(') || file.is_punct(i, b'[') || file.is_punct(i, b'{') {
+            depth += 1;
+        } else if file.is_punct(i, b')') || file.is_punct(i, b']') || file.is_punct(i, b'}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
 }
 
 /// Classifies token `i` as a forbidden effect, if it is one.

@@ -1,0 +1,39 @@
+// Fixture: flight-recorder emission is allowlisted inside atomic
+// closures; unrelated effects in the same closure are still flagged.
+// Not compiled — consumed as text by tests/lint_rules.rs.
+
+use rococo_stm::atomically;
+use rococo_telemetry::tlm_event;
+
+fn macro_emission_is_allowed(tm: &Tm) {
+    atomically(tm, 0, |tx| {
+        tlm_event!(rococo_telemetry::TxEvent::Begin);
+        // Even a clock read is legal when it only feeds the event — the
+        // recorder ring is re-execution-safe by design.
+        tlm_event!(rococo_telemetry::TxEvent::WalFsync {
+            records: 1,
+            ns: Instant::now().elapsed().as_nanos() as u64,
+        });
+        tx.write(0, 1)
+    });
+}
+
+fn pathed_calls_are_allowed(tm: &Tm) {
+    atomically(tm, 0, |tx| {
+        if rococo_telemetry::enabled() {
+            rococo_telemetry::emit(rococo_telemetry::TxEvent::ReadSet { len: 4 });
+            rococo_telemetry::dump_anomaly("fixture");
+        }
+        rococo_telemetry::tlm_event!(rococo_telemetry::TxEvent::Commit { seq: 1 });
+        tx.write(0, 2)
+    });
+}
+
+fn effects_next_to_telemetry_are_still_flagged(tm: &Tm) {
+    atomically(tm, 0, |tx| {
+        tlm_event!(rococo_telemetry::TxEvent::Begin);
+        println!("attempt"); // line 35: I/O macro — allowlist must not leak
+        let t = Instant::now(); // line 36: clock read outside macro args
+        tx.write(0, t.elapsed().as_nanos() as u64)
+    });
+}

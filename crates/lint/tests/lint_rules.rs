@@ -54,6 +54,26 @@ fn atomic_side_effect_allows_clean_and_surrounding_code() {
 }
 
 #[test]
+fn atomic_side_effect_allowlists_telemetry_emission() {
+    // tlm_event! args and rococo_telemetry::-pathed calls are exempt
+    // (re-execution-safe by design); effects beside them are not.
+    let report = lint_one(
+        "atomic_side_effect_telemetry.rs",
+        "crates/demo/src/telemetry_user.rs",
+        false,
+    );
+    assert_eq!(
+        findings(&report),
+        vec![
+            ("atomic-side-effect", 35), // println! next to tlm_event!
+            ("atomic-side-effect", 36), // Instant::now outside macro args
+        ],
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
 fn uncounted_abort_flags_direct_construction() {
     let report = lint_one(
         "uncounted_abort_bad.rs",

@@ -5,6 +5,12 @@
 //! relative error of ~6 % per recorded value — plenty for p50/p99/p999
 //! service latency while keeping recording to a handful of instructions
 //! on one relaxed atomic.
+//!
+//! Snapshots carry their full bucket counts, so cross-shard aggregation
+//! ([`HistogramSnapshot::merged_with`]) is exact: bucket counts add,
+//! quantiles are recomputed from the merged distribution, and the mean
+//! comes from the summed totals rather than being reconstructed from
+//! per-shard floating-point means (which drifts).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -51,6 +57,36 @@ fn value_of(idx: usize) -> u64 {
     lower + (1u64 << (b - 3)) / 2
 }
 
+/// Largest value that lands in a bucket (its inclusive upper edge).
+fn upper_of(idx: usize) -> u64 {
+    if idx < EXACT {
+        return idx as u64;
+    }
+    let b = 4 + (idx - EXACT) / SUB;
+    let m = ((idx - EXACT) % SUB) as u64;
+    let lower = (1u64 << b) | (m << (b - 3));
+    lower + (1u64 << (b - 3)) - 1
+}
+
+/// Quantile `q` over `counts`, as the representative value of the bucket
+/// holding the target observation — clamped to `max_ns` so a quantile
+/// can never exceed the largest value actually recorded (the bucket
+/// *midpoint* of the top occupied bucket otherwise overshoots it).
+fn quantile_from(counts: &[u64], total: u64, max_ns: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            return value_of(i).min(max_ns);
+        }
+    }
+    value_of(BUCKETS - 1).min(max_ns)
+}
+
 impl LatencyHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
@@ -75,7 +111,8 @@ impl LatencyHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
-    /// Takes a point-in-time copy with precomputed quantiles.
+    /// Takes a point-in-time copy with precomputed quantiles and the
+    /// full bucket counts (for exact merging and histogram export).
     pub fn snapshot(&self) -> HistogramSnapshot {
         let counts: Vec<u64> = self
             .buckets
@@ -83,70 +120,127 @@ impl LatencyHistogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         let total: u64 = counts.iter().sum();
-        let quantile = |q: f64| -> u64 {
-            if total == 0 {
-                return 0;
-            }
-            let target = ((q * total as f64).ceil() as u64).clamp(1, total);
-            let mut seen = 0u64;
-            for (i, &c) in counts.iter().enumerate() {
-                seen += c;
-                if seen >= target {
-                    return value_of(i);
-                }
-            }
-            value_of(BUCKETS - 1)
-        };
+        let sum_ns = self.sum.load(Ordering::Relaxed);
+        let max_ns = self.max.load(Ordering::Relaxed);
         HistogramSnapshot {
             count: total,
+            sum_ns,
             mean_ns: if total == 0 {
                 0.0
             } else {
-                self.sum.load(Ordering::Relaxed) as f64 / total as f64
+                sum_ns as f64 / total as f64
             },
-            p50_ns: quantile(0.50),
-            p99_ns: quantile(0.99),
-            p999_ns: quantile(0.999),
-            max_ns: self.max.load(Ordering::Relaxed),
+            p50_ns: quantile_from(&counts, total, max_ns, 0.50),
+            p99_ns: quantile_from(&counts, total, max_ns, 0.99),
+            p999_ns: quantile_from(&counts, total, max_ns, 0.999),
+            max_ns,
+            buckets: counts,
         }
     }
 }
 
-/// A point-in-time histogram summary.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+/// A point-in-time histogram summary, carrying its bucket counts so
+/// merges are exact.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct HistogramSnapshot {
     /// Values recorded.
     pub count: u64,
+    /// Sum of recorded values (ns; wraps like the recording counter).
+    pub sum_ns: u64,
     /// Mean of recorded values (ns).
     pub mean_ns: f64,
-    /// Median (ns, bucket midpoint).
+    /// Median (ns, bucket midpoint, clamped to `max_ns`).
     pub p50_ns: u64,
-    /// 99th percentile (ns, bucket midpoint).
+    /// 99th percentile (ns, bucket midpoint, clamped to `max_ns`).
     pub p99_ns: u64,
-    /// 99.9th percentile (ns, bucket midpoint).
+    /// 99.9th percentile (ns, bucket midpoint, clamped to `max_ns`).
     pub p999_ns: u64,
     /// Largest recorded value (ns, exact).
     pub max_ns: u64,
+    /// Per-bucket counts (empty for a default/hand-built summary).
+    pub buckets: Vec<u64>,
 }
 
 impl HistogramSnapshot {
-    /// Merges two snapshots (quantiles are approximated by the max of the
-    /// two — used only for aggregate reporting across shards).
+    /// Merges two snapshots exactly: bucket counts add, quantiles are
+    /// recomputed from the combined distribution, and the mean comes
+    /// from the summed totals. Snapshots without bucket counts
+    /// (hand-built summaries) degrade to the old approximation — max of
+    /// the two quantiles, count-weighted mean.
     pub fn merged_with(&self, other: &Self) -> Self {
         let total = self.count + other.count;
+        let max_ns = self.max_ns.max(other.max_ns);
+        let sum_ns = self.sum_ns.wrapping_add(other.sum_ns);
+        let buckets: Vec<u64> = match (self.buckets.is_empty(), other.buckets.is_empty()) {
+            (false, false) => self
+                .buckets
+                .iter()
+                .zip(&other.buckets)
+                .map(|(a, b)| a + b)
+                .collect(),
+            (false, true) => self.buckets.clone(),
+            (true, false) => other.buckets.clone(),
+            (true, true) => Vec::new(),
+        };
+        // Exact path only when the merged buckets cover every count;
+        // otherwise one side was bucket-less and quantiles fall back.
+        let exact = !buckets.is_empty() && buckets.iter().sum::<u64>() == total;
+        let (p50_ns, p99_ns, p999_ns) = if exact {
+            (
+                quantile_from(&buckets, total, max_ns, 0.50),
+                quantile_from(&buckets, total, max_ns, 0.99),
+                quantile_from(&buckets, total, max_ns, 0.999),
+            )
+        } else {
+            (
+                self.p50_ns.max(other.p50_ns),
+                self.p99_ns.max(other.p99_ns),
+                self.p999_ns.max(other.p999_ns),
+            )
+        };
+        let mean_ns = if total == 0 {
+            0.0
+        } else if exact {
+            sum_ns as f64 / total as f64
+        } else {
+            (self.mean_ns * self.count as f64 + other.mean_ns * other.count as f64) / total as f64
+        };
         Self {
             count: total,
-            mean_ns: if total == 0 {
-                0.0
-            } else {
-                (self.mean_ns * self.count as f64 + other.mean_ns * other.count as f64)
-                    / total as f64
-            },
-            p50_ns: self.p50_ns.max(other.p50_ns),
-            p99_ns: self.p99_ns.max(other.p99_ns),
-            p999_ns: self.p999_ns.max(other.p999_ns),
-            max_ns: self.max_ns.max(other.max_ns),
+            sum_ns,
+            mean_ns,
+            p50_ns,
+            p99_ns,
+            p999_ns,
+            max_ns,
+            buckets,
         }
+    }
+
+    /// Cumulative counts at the given ascending inclusive upper bounds
+    /// (ns), for Prometheus-style histogram exposition. A bucket is
+    /// counted under the first bound at or above its inclusive upper
+    /// edge, so each cumulative count is a lower bound on the true
+    /// `observations <= bound` (never an overcount).
+    pub fn cumulative(&self, bounds_ns: &[u64]) -> Vec<u64> {
+        let mut out = vec![0u64; bounds_ns.len()];
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let upper = upper_of(i);
+            for (j, &bound) in bounds_ns.iter().enumerate() {
+                if upper <= bound {
+                    out[j] += c;
+                    break;
+                }
+            }
+        }
+        // Make counts cumulative across bounds.
+        for j in 1..out.len() {
+            out[j] += out[j - 1];
+        }
+        out
     }
 }
 
@@ -162,6 +256,20 @@ mod tests {
             assert!(b >= last, "bucket regressed at {ns}");
             assert!(b < BUCKETS);
             last = b;
+        }
+    }
+
+    #[test]
+    fn bucket_upper_edges_are_tight() {
+        for ns in [0u64, 15, 16, 17, 100, 4_096, 1 << 20, u64::MAX / 2] {
+            let idx = bucket_of(ns);
+            let upper = upper_of(idx);
+            assert!(ns <= upper, "{ns} above its bucket edge {upper}");
+            // The next value after the edge lands in a later bucket.
+            assert!(
+                bucket_of(upper + 1) > idx,
+                "edge {upper} not tight for {ns}"
+            );
         }
     }
 
@@ -194,8 +302,24 @@ mod tests {
     fn empty_histogram_snapshot_is_zero() {
         let s = LatencyHistogram::new().snapshot();
         assert_eq!(s.count, 0);
-        assert_eq!(s.p999_ns, 0);
+        assert_eq!((s.p50_ns, s.p99_ns, s.p999_ns, s.max_ns), (0, 0, 0, 0));
         assert_eq!(s.mean_ns, 0.0);
+        assert_eq!(s.sum_ns, 0);
+        assert!(s.buckets.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_that_sample() {
+        for ns in [0u64, 7, 16, 12_345] {
+            let h = LatencyHistogram::new();
+            h.record(ns);
+            let s = h.snapshot();
+            assert_eq!(s.count, 1);
+            assert_eq!(s.max_ns, ns);
+            // One sample: every quantile is clamped to it exactly.
+            assert_eq!((s.p50_ns, s.p99_ns, s.p999_ns), (ns, ns, ns), "ns={ns}");
+            assert_eq!(s.mean_ns, ns as f64);
+        }
     }
 
     #[test]
@@ -212,6 +336,63 @@ mod tests {
         assert_eq!(s.p50_ns, s.p999_ns);
         assert_eq!(s.merged_with(&empty), s);
         assert_eq!(empty.merged_with(&s), s);
+    }
+
+    #[test]
+    fn quantiles_never_exceed_observed_max() {
+        // 4096 sits at the lower edge of a width-512 bucket; the bucket
+        // midpoint (4352) used to leak out of the quantiles, reporting a
+        // p999 above any recorded value. Quantiles are now clamped.
+        let h = LatencyHistogram::new();
+        for _ in 0..1_000 {
+            h.record(4_096);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.max_ns, 4_096);
+        assert!(s.p50_ns <= s.max_ns);
+        assert!(s.p999_ns <= s.max_ns);
+    }
+
+    #[test]
+    fn merge_recomputes_quantiles_from_combined_distribution() {
+        // Shard A: 99 fast ops. Shard B: 1 slow op. The service-level
+        // p50 must stay fast; the old max-of-quantiles approximation
+        // reported the slow shard's p50 for the whole service.
+        let a = LatencyHistogram::new();
+        for _ in 0..99 {
+            a.record(1_000);
+        }
+        let b = LatencyHistogram::new();
+        b.record(1_000_000);
+        let m = a.snapshot().merged_with(&b.snapshot());
+        assert_eq!(m.count, 100);
+        assert_eq!(
+            m.p50_ns,
+            a.snapshot().p50_ns,
+            "p50 dragged up by slow shard"
+        );
+        assert!(m.p999_ns >= 900_000, "tail must reflect the slow op");
+        // Mean from summed totals: (99*1_000 + 1_000_000) / 100.
+        assert!((m.mean_ns - 10_990.0).abs() < 1e-9, "mean {}", m.mean_ns);
+        assert_eq!(m.sum_ns, 99 * 1_000 + 1_000_000);
+    }
+
+    #[test]
+    fn saturating_top_bucket_counts_stay_coherent() {
+        let h = LatencyHistogram::new();
+        // Everything at or above the top bucket's lower edge shares it.
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record((1u64 << 63) | (7u64 << 60));
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[BUCKETS - 1], 3);
+        assert_eq!(s.max_ns, u64::MAX);
+        assert!(s.p50_ns <= s.max_ns && s.p999_ns <= s.max_ns);
+        // Merging two saturated snapshots keeps the top bucket saturated.
+        let m = s.merged_with(&s);
+        assert_eq!(m.buckets[BUCKETS - 1], 6);
+        assert_eq!(m.count, 6);
     }
 
     #[test]
@@ -240,7 +421,7 @@ mod tests {
     }
 
     #[test]
-    fn merge_weights_means() {
+    fn bucketless_summaries_fall_back_to_approximation() {
         let a = HistogramSnapshot {
             count: 10,
             mean_ns: 100.0,
@@ -254,5 +435,22 @@ mod tests {
         let m = a.merged_with(&b);
         assert_eq!(m.count, 40);
         assert!((m.mean_ns - 175.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cumulative_export_is_monotone_and_complete() {
+        let h = LatencyHistogram::new();
+        for ns in [10u64, 500, 5_000, 50_000, 50_000, 5_000_000] {
+            h.record(ns);
+        }
+        let s = h.snapshot();
+        let bounds = [1_000u64, 100_000, 10_000_000];
+        let cum = s.cumulative(&bounds);
+        assert_eq!(cum.len(), 3);
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]));
+        // Everything fits under the widest bound here.
+        assert_eq!(*cum.last().unwrap(), s.count);
+        // The first bound covers the two small samples.
+        assert_eq!(cum[0], 2);
     }
 }

@@ -70,5 +70,5 @@ mod stats;
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use request::{Key, Request, Response, TxKvError};
 pub use retry::RetryPolicy;
-pub use service::{DurabilityConfig, PendingReply, TxKv, TxKvConfig};
+pub use service::{DurabilityConfig, PendingReply, TelemetryConfig, TxKv, TxKvConfig};
 pub use stats::{ShardSnapshot, ShardStats, TxKvReport};

@@ -165,7 +165,7 @@ impl fmt::Display for TxKvError {
             TxKvError::RetriesExhausted { attempts, last } => write!(
                 f,
                 "transaction still aborting after {attempts} attempts (last cause: {})",
-                last.label()
+                last.as_label()
             ),
             TxKvError::DurabilityLost => write!(
                 f,

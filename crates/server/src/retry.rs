@@ -125,6 +125,10 @@ impl RetryPolicy {
                         return Err((abort, attempts));
                     }
                     let ns = self.backoff_ns(attempts, rng);
+                    rococo_telemetry::tlm_event!(rococo_telemetry::TxEvent::Backoff {
+                        attempt: attempts,
+                        delay_ns: ns,
+                    });
                     if ns > 0 {
                         sleep_ns(ns);
                     }

@@ -45,6 +45,29 @@ impl DurabilityConfig {
     }
 }
 
+/// Telemetry configuration: periodic metric snapshots written to a
+/// directory as `metrics.prom` (Prometheus text exposition) and
+/// `metrics.json`. Files are written atomically (temp + rename), so a
+/// scraper tailing the directory never sees a torn snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryConfig {
+    /// Directory the snapshots land in (created if missing).
+    pub dir: PathBuf,
+    /// How often the scraper thread refreshes the files. A final scrape
+    /// always runs at shutdown regardless of the interval.
+    pub scrape_interval: Duration,
+}
+
+impl TelemetryConfig {
+    /// Telemetry into `dir` at a 250 ms cadence.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            scrape_interval: Duration::from_millis(250),
+        }
+    }
+}
+
 /// Service configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TxKvConfig {
@@ -67,6 +90,8 @@ pub struct TxKvConfig {
     /// Write-ahead logging; `None` runs the service in memory (a crash
     /// loses everything, as before this field existed).
     pub durability: Option<DurabilityConfig>,
+    /// Periodic metric snapshots; `None` disables the scraper thread.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl PartialEq for DurabilityConfig {
@@ -87,6 +112,7 @@ impl Default for TxKvConfig {
             keys: 1 << 16,
             retry: RetryPolicy::default(),
             durability: None,
+            telemetry: None,
         }
     }
 }
@@ -151,6 +177,49 @@ pub struct TxKv<S: TmSystem + 'static> {
     /// WAL counters captured at shutdown, so the final report still
     /// carries them after the writer has been joined.
     final_wal: Option<rococo_wal::WalSnapshot>,
+    tlm_stop: Arc<AtomicBool>,
+    tlm_thread: Option<JoinHandle<()>>,
+}
+
+/// Writes `contents` to `dir/name` atomically (temp file + rename), so
+/// concurrent readers never observe a torn snapshot.
+fn write_atomic(dir: &std::path::Path, name: &str, contents: &str) -> std::io::Result<()> {
+    let tmp = dir.join(format!(".{name}.tmp"));
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, dir.join(name))
+}
+
+/// One telemetry scrape: gathers every subsystem's counters into a
+/// registry and rewrites `metrics.prom` / `metrics.json` in `dir`.
+fn scrape_metrics<S: TmSystem + ?Sized>(
+    system: &S,
+    stats: &[Arc<ShardStats>],
+    wal: Option<&Wal>,
+    elapsed: Duration,
+    dir: &std::path::Path,
+) {
+    let per_shard: Vec<ShardSnapshot> = stats.iter().map(|s| s.snapshot()).collect();
+    let mut aggregate = ShardSnapshot::default();
+    for s in &per_shard {
+        aggregate.merge(s);
+    }
+    let report = TxKvReport {
+        backend: system.name(),
+        per_shard,
+        aggregate,
+        injected_faults: system.injected_faults(),
+        wal: wal.map(|w| w.stats()),
+        elapsed,
+    };
+    let mut reg = rococo_telemetry::MetricsRegistry::new();
+    report.export_metrics(&mut reg);
+    system.stats().snapshot().export_metrics(&mut reg);
+    if let Some(engine) = system.engine_stats() {
+        engine.export_metrics(&mut reg);
+    }
+    let _ = std::fs::create_dir_all(dir);
+    let _ = write_atomic(dir, "metrics.prom", &reg.render_prometheus());
+    let _ = write_atomic(dir, "metrics.json", &reg.render_json());
 }
 
 impl<S: TmSystem + 'static> TxKv<S> {
@@ -321,6 +390,41 @@ impl<S: TmSystem + 'static> TxKv<S> {
             }
         }
 
+        // The telemetry scraper: periodically rewrite the metric
+        // snapshot files until shutdown, then scrape one last time so
+        // the on-disk artifacts cover the whole run.
+        let started = Instant::now();
+        let tlm_stop = Arc::new(AtomicBool::new(false));
+        let mut tlm_thread = None;
+        if let Some(tlm) = &cfg.telemetry {
+            let dir = tlm.dir.clone();
+            let interval = tlm.scrape_interval;
+            let system = Arc::clone(&system);
+            let stats: Vec<Arc<ShardStats>> = stats.iter().map(Arc::clone).collect();
+            let wal = wal.as_ref().map(|w| w.client());
+            let stop = Arc::clone(&tlm_stop);
+            tlm_thread = Some(
+                std::thread::Builder::new()
+                    .name("txkv-telemetry".into())
+                    .spawn(move || {
+                        loop {
+                            scrape_metrics(&*system, &stats, wal.as_ref(), started.elapsed(), &dir);
+                            if stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            // Sleep in short slices so shutdown's final
+                            // scrape is not delayed a whole interval.
+                            let deadline = Instant::now() + interval;
+                            while Instant::now() < deadline && !stop.load(Ordering::SeqCst) {
+                                std::thread::sleep(Duration::from_millis(5).min(interval));
+                            }
+                        }
+                        rococo_telemetry::flush_thread();
+                    })
+                    .expect("failed to spawn txkv telemetry scraper"),
+            );
+        }
+
         Ok((
             Self {
                 system,
@@ -329,12 +433,14 @@ impl<S: TmSystem + 'static> TxKv<S> {
                 senders,
                 stats,
                 workers,
-                started: Instant::now(),
+                started,
                 wal,
                 pause,
                 ckpt_stop,
                 ckpt_thread,
                 final_wal: None,
+                tlm_stop,
+                tlm_thread,
             },
             report,
         ))
@@ -476,6 +582,13 @@ impl<S: TmSystem + 'static> TxKv<S> {
         self.senders.clear(); // workers' recv() errors out once queues drain
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // Stop the scraper after the workers: its final scrape then
+        // covers every request, and its WAL client must be dropped
+        // before the writer below can be joined.
+        self.tlm_stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.tlm_thread.take() {
+            let _ = h.join();
         }
         if let Some(w) = self.wal.take() {
             self.final_wal = Some(w.shutdown());

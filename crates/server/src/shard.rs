@@ -141,9 +141,17 @@ pub(crate) fn run_worker<S: TmSystem + ?Sized>(ctx: WorkerCtx<S>) {
                 // commits (seq None) have nothing to make durable.
                 let durable = match (&wal, seq) {
                     (Some(w), Some(seq)) => {
+                        let n_writes = writes.len() as u32;
                         // Hand the write set over; `apply` rebuilds it
                         // from scratch on the next job anyway.
-                        w.wal.append(w.base_seq + seq, std::mem::take(&mut writes))
+                        let r = w.wal.append(w.base_seq + seq, std::mem::take(&mut writes));
+                        if r.is_ok() {
+                            rococo_telemetry::tlm_event!(rococo_telemetry::TxEvent::WalAppend {
+                                seq: w.base_seq + seq,
+                                writes: n_writes,
+                            });
+                        }
+                        r
                     }
                     _ => Ok(()),
                 };
@@ -154,6 +162,10 @@ pub(crate) fn run_worker<S: TmSystem + ?Sized>(ctx: WorkerCtx<S>) {
                     }
                     Err(_) => {
                         stats.durability_lost.fetch_add(1, Ordering::Relaxed);
+                        if rococo_telemetry::enabled() {
+                            rococo_telemetry::emit(rococo_telemetry::TxEvent::DurabilityLost);
+                            rococo_telemetry::dump_anomaly("durability-lost");
+                        }
                         Err(TxKvError::DurabilityLost)
                     }
                 }
@@ -171,6 +183,10 @@ pub(crate) fn run_worker<S: TmSystem + ?Sized>(ctx: WorkerCtx<S>) {
             Err(_panic) => {
                 stats.panics.fetch_add(1, Ordering::Relaxed);
                 stats.failed.fetch_add(1, Ordering::Relaxed);
+                if rococo_telemetry::enabled() {
+                    rococo_telemetry::emit(rococo_telemetry::TxEvent::WorkerPanic);
+                    rococo_telemetry::dump_anomaly("worker-panic");
+                }
                 Err(TxKvError::Internal)
             }
         };
@@ -182,6 +198,7 @@ pub(crate) fn run_worker<S: TmSystem + ?Sized>(ctx: WorkerCtx<S>) {
         // worker's problem.
         let _ = job.reply.send(reply);
     }
+    rococo_telemetry::flush_thread();
 }
 
 #[cfg(test)]

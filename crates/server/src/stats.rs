@@ -109,9 +109,84 @@ impl ShardSnapshot {
     pub fn abort_breakdown(&self) -> Vec<(&'static str, u64)> {
         AbortKind::ALL
             .iter()
-            .map(|k| (k.label(), self.aborts[k.index()]))
+            .map(|k| (k.as_label(), self.aborts[k.index()]))
             .filter(|&(_, n)| n > 0)
             .collect()
+    }
+
+    /// Publishes this snapshot into a metrics registry under the unified
+    /// `rococo_txkv_*` namespace, tagging every sample with `labels`
+    /// (e.g. `[("shard", "2")]`, or empty for the aggregate).
+    pub fn export_metrics(
+        &self,
+        reg: &mut rococo_telemetry::MetricsRegistry,
+        labels: &[(&str, &str)],
+    ) {
+        reg.counter(
+            "rococo_txkv_enqueued_total",
+            "Requests admitted to the shard queue",
+            labels,
+            self.enqueued,
+        );
+        reg.counter(
+            "rococo_txkv_shed_total",
+            "Requests shed by admission control",
+            labels,
+            self.shed,
+        );
+        reg.counter(
+            "rococo_txkv_committed_total",
+            "Requests whose transaction committed",
+            labels,
+            self.committed,
+        );
+        reg.counter(
+            "rococo_txkv_failed_total",
+            "Requests that failed (retries exhausted)",
+            labels,
+            self.failed,
+        );
+        reg.counter(
+            "rococo_txkv_retries_total",
+            "Extra attempts beyond the first",
+            labels,
+            self.retries,
+        );
+        reg.counter(
+            "rococo_txkv_durability_lost_total",
+            "Commits never acknowledged by the WAL",
+            labels,
+            self.durability_lost,
+        );
+        reg.counter(
+            "rococo_txkv_panics_total",
+            "Requests whose transaction panicked inside the backend",
+            labels,
+            self.panics,
+        );
+        for kind in AbortKind::ALL {
+            let mut kv: Vec<(&str, &str)> = labels.to_vec();
+            kv.push(("kind", kind.as_label()));
+            reg.counter(
+                "rococo_txkv_aborts_total",
+                "Request-level transaction aborts by cause",
+                &kv,
+                self.aborts[kind.index()],
+            );
+        }
+        // Coarse decade bounds: 1us, 10us, 100us, 1ms, 10ms, 100ms.
+        const BOUNDS_NS: [u64; 6] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
+        reg.histogram(
+            "rococo_txkv_latency_ns",
+            "Request latency from enqueue to reply, nanoseconds",
+            labels,
+            rococo_telemetry::HistogramPoints {
+                bounds: BOUNDS_NS.to_vec(),
+                cumulative: self.latency.cumulative(&BOUNDS_NS),
+                count: self.latency.count,
+                sum: self.latency.sum_ns as f64,
+            },
+        );
     }
 
     /// Merges another snapshot into this one (used to build the
@@ -158,6 +233,31 @@ pub struct TxKvReport {
 }
 
 impl TxKvReport {
+    /// Publishes the whole report into a metrics registry: the aggregate
+    /// under `rococo_txkv_*`, each shard under a `shard` label, and the
+    /// fault-injection and WAL snapshots when present. The scraper adds
+    /// backend (`rococo_tm_*`) and FPGA (`rococo_fpga_*`) metrics itself,
+    /// since the report does not carry them.
+    pub fn export_metrics(&self, reg: &mut rococo_telemetry::MetricsRegistry) {
+        self.aggregate.export_metrics(reg, &[]);
+        for (i, shard) in self.per_shard.iter().enumerate() {
+            let label = i.to_string();
+            shard.export_metrics(reg, &[("shard", &label)]);
+        }
+        if let Some(faults) = &self.injected_faults {
+            faults.export_metrics(reg);
+        }
+        if let Some(wal) = &self.wal {
+            wal.export_metrics(reg);
+        }
+        reg.gauge(
+            "rococo_txkv_uptime_seconds",
+            "Wall-clock time the service has been running",
+            &[],
+            self.elapsed.as_secs_f64(),
+        );
+    }
+
     /// Committed requests per second over [`TxKvReport::elapsed`].
     pub fn throughput(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();

@@ -1,0 +1,75 @@
+//! Property tests for cross-shard histogram merging: `merged_with` must
+//! behave like recording everything into one histogram, regardless of
+//! how the samples were split or in which order the parts were merged.
+
+use proptest::prelude::*;
+use rococo_server::{HistogramSnapshot, LatencyHistogram};
+
+/// Records `samples` into one fresh histogram and snapshots it.
+fn snap(samples: &[u64]) -> HistogramSnapshot {
+    let h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+/// Latency-shaped sample values: spread across bucket decades, with the
+/// saturating top of the u64 range reachable.
+fn sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..1_000,
+        1_000u64..1_000_000,
+        1_000_000u64..10_000_000_000,
+        Just(u64::MAX),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_equals_single_histogram(
+        a in prop::collection::vec(sample(), 0..40),
+        b in prop::collection::vec(sample(), 0..40),
+    ) {
+        let merged = snap(&a).merged_with(&snap(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        let direct = snap(&all);
+        // Exact merge: identical counts, buckets and quantiles. The
+        // mean is recomputed from summed totals, so compare loosely.
+        prop_assert_eq!(merged.count, direct.count);
+        prop_assert_eq!(&merged.buckets, &direct.buckets);
+        prop_assert_eq!(merged.p50_ns, direct.p50_ns);
+        prop_assert_eq!(merged.p99_ns, direct.p99_ns);
+        prop_assert_eq!(merged.p999_ns, direct.p999_ns);
+        prop_assert_eq!(merged.max_ns, direct.max_ns);
+        prop_assert!((merged.mean_ns - direct.mean_ns).abs() <= 1e-6 * direct.mean_ns.max(1.0));
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in prop::collection::vec(sample(), 0..30),
+        b in prop::collection::vec(sample(), 0..30),
+        c in prop::collection::vec(sample(), 0..30),
+    ) {
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+        let left = sa.merged_with(&sb).merged_with(&sc);
+        let right = sa.merged_with(&sb.merged_with(&sc));
+        prop_assert_eq!(&left, &right);
+        let flipped = sc.merged_with(&sb).merged_with(&sa);
+        prop_assert_eq!(left.count, flipped.count);
+        prop_assert_eq!(&left.buckets, &flipped.buckets);
+        prop_assert_eq!(left.p999_ns, flipped.p999_ns);
+    }
+
+    #[test]
+    fn merging_an_empty_snapshot_is_identity(
+        a in prop::collection::vec(sample(), 0..40),
+    ) {
+        let sa = snap(&a);
+        let merged = sa.merged_with(&snap(&[]));
+        prop_assert_eq!(&merged, &sa);
+    }
+}

@@ -1,0 +1,116 @@
+//! End-to-end telemetry artifact validation: run TxKv on ROCoCoTM with
+//! the flight recorder and metrics scraper on, then schema-check all
+//! three artifacts — Prometheus text, JSON snapshot, and the Chrome
+//! trace — including the requirement that at least one transaction span
+//! overlaps an FPGA stage slice on the shared timeline.
+//!
+//! Own integration-test binary: the flight recorder is process-global.
+
+use rococo_server::{Request, TelemetryConfig, TxKv, TxKvConfig};
+use rococo_stm::{RococoTm, TmConfig};
+use rococo_telemetry::json::Json;
+use rococo_telemetry::{build_tx_trace, validate_prometheus, FPGA_PID, TX_PID};
+use std::sync::Arc;
+
+#[test]
+fn artifacts_pass_schema_validation_and_spans_overlap() {
+    let dir = std::env::temp_dir().join(format!("rococo-tlm-artifacts-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    rococo_telemetry::enable(rococo_telemetry::DEFAULT_RING_EVENTS);
+
+    let cfg = TxKvConfig {
+        shards: 2,
+        workers_per_shard: 2,
+        keys: 64,
+        telemetry: Some(TelemetryConfig::new(dir.clone())),
+        ..TxKvConfig::default()
+    };
+    let tm = RococoTm::with_config(TmConfig {
+        heap_words: cfg.heap_words(),
+        max_threads: cfg.worker_threads(),
+    });
+    let kv = TxKv::start(Arc::new(tm), cfg).expect("service start");
+    for k in 0..64u64 {
+        kv.call(Request::Put { key: k, value: 100 }).unwrap();
+    }
+    // Contended transfers: retries and validation traffic.
+    for i in 0..400u64 {
+        let _ = kv.call(Request::Transfer {
+            from: i % 4,
+            to: (i + 1) % 4,
+            amount: 1,
+        });
+    }
+    let report = kv.shutdown();
+    assert!(report.aggregate.committed >= 400);
+
+    let events = rococo_telemetry::drain_events();
+    let lanes = rococo_telemetry::lane_names();
+    rococo_telemetry::disable();
+
+    // --- metrics.prom: strict text-format validation + namespaces ----
+    let prom = std::fs::read_to_string(dir.join("metrics.prom")).expect("scraper wrote prom");
+    let samples = validate_prometheus(&prom).expect("valid Prometheus exposition");
+    assert!(samples > 0);
+    for prefix in ["rococo_txkv_", "rococo_tm_", "rococo_fpga_"] {
+        assert!(
+            prom.lines()
+                .any(|l| !l.starts_with('#') && l.starts_with(prefix)),
+            "missing {prefix} samples in:\n{prom}"
+        );
+    }
+    // The final scrape runs after worker shutdown, so it covers the
+    // whole run: committed counts must agree with the report.
+    let committed_line = prom
+        .lines()
+        .find(|l| l.starts_with("rococo_txkv_committed_total "))
+        .expect("aggregate committed counter");
+    let committed: f64 = committed_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(committed as u64, report.aggregate.committed);
+
+    // --- metrics.json: parses, non-empty metric entries --------------
+    let mjson = std::fs::read_to_string(dir.join("metrics.json")).expect("scraper wrote json");
+    let doc = Json::parse(&mjson).expect("valid JSON snapshot");
+    let metrics = doc.get("metrics").unwrap().as_arr().unwrap();
+    assert!(!metrics.is_empty());
+    assert!(metrics
+        .iter()
+        .all(|m| m.get("name").and_then(Json::as_str).is_some()));
+
+    // --- trace: tx spans overlapping FPGA stage slices ---------------
+    let trace = build_tx_trace(&events, &lanes);
+    let tdoc = Json::parse(&trace).expect("valid trace JSON");
+    let evs = tdoc.get("traceEvents").unwrap().as_arr().unwrap();
+    let span = |e: &Json, name: &str, pid: u32| -> Option<(f64, f64)> {
+        (e.get("name").and_then(Json::as_str) == Some(name)
+            && e.get("ph").and_then(Json::as_str) == Some("X")
+            && e.get("pid").and_then(Json::as_f64) == Some(pid as f64))
+        .then(|| {
+            (
+                e.get("ts").unwrap().as_f64().unwrap(),
+                e.get("dur").unwrap().as_f64().unwrap(),
+            )
+        })
+    };
+    let tx: Vec<_> = evs.iter().filter_map(|e| span(e, "tx", TX_PID)).collect();
+    let det: Vec<_> = evs
+        .iter()
+        .filter_map(|e| span(e, "detector", FPGA_PID))
+        .collect();
+    assert!(!tx.is_empty(), "no transaction spans in trace");
+    assert!(!det.is_empty(), "no detector stage slices in trace");
+    assert!(
+        tx.iter().any(|(tts, tdur)| det
+            .iter()
+            .any(|(dts, ddur)| dts < &(tts + tdur) && tts < &(dts + ddur))),
+        "no tx span overlaps a detector slice"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

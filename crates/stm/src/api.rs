@@ -62,8 +62,10 @@ impl AbortKind {
         }
     }
 
-    /// Short human-readable label (used in service reports).
-    pub fn label(self) -> &'static str {
+    /// Canonical short label for this kind — the one spelling used by
+    /// service reports, chaos reproducer output, and telemetry metric
+    /// label values (`rococo_*_aborts_total{kind="..."}`).
+    pub fn as_label(self) -> &'static str {
         match self {
             AbortKind::Conflict => "cpu-stale-read",
             AbortKind::FpgaCycle => "fpga-cycle",
@@ -93,7 +95,7 @@ impl Abort {
 
 impl fmt::Display for Abort {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "transaction aborted: {:?}", self.kind)
+        write!(f, "transaction aborted: {}", self.kind.as_label())
     }
 }
 
@@ -212,6 +214,13 @@ pub trait TmSystem: Send + Sync {
     fn injected_faults(&self) -> Option<rococo_fpga::FaultSnapshot> {
         None
     }
+
+    /// Counters of the backend's FPGA validation engine, when the backend
+    /// runs one. `None` for backends without a validation service.
+    /// Telemetry scrapers surface these under `rococo_fpga_*`.
+    fn engine_stats(&self) -> Option<rococo_fpga::EngineStats> {
+        None
+    }
 }
 
 /// Runs `body` as a transaction on `system`, retrying on abort with
@@ -276,20 +285,32 @@ where
     F: FnMut(&mut S::Tx<'_>) -> Result<R, Abort>,
 {
     system.stats().starts.fetch_add(1, Ordering::Relaxed);
+    // Emitted before `begin` so any escalation event the backend records
+    // while admitting the attempt lands inside this attempt's history.
+    rococo_telemetry::tlm_event!(rococo_telemetry::TxEvent::Begin);
     let mut tx = system.begin(thread_id);
     match body(&mut tx) {
         Ok(r) => match tx.commit_seq() {
             Ok(seq) => {
                 system.stats().commits.fetch_add(1, Ordering::Relaxed);
+                rococo_telemetry::tlm_event!(rococo_telemetry::TxEvent::Commit {
+                    seq: seq.unwrap_or(0),
+                });
                 Ok((r, seq))
             }
             Err(abort) => {
                 system.stats().record_abort(abort.kind);
+                rococo_telemetry::tlm_event!(rococo_telemetry::TxEvent::Abort {
+                    kind: abort.kind.as_label(),
+                });
                 Err(abort)
             }
         },
         Err(abort) => {
             system.stats().record_abort(abort.kind);
+            rococo_telemetry::tlm_event!(rococo_telemetry::TxEvent::Abort {
+                kind: abort.kind.as_label(),
+            });
             Err(abort)
         }
     }
@@ -468,6 +489,62 @@ impl StatsSnapshot {
             self.validation_model_ns as f64 / self.validations as f64 / 1000.0
         }
     }
+
+    /// Publishes the runtime counters into a metrics registry under the
+    /// unified `rococo_tm_*` namespace, abort causes keyed by the
+    /// canonical [`AbortKind::as_label`] spellings.
+    pub fn export_metrics(&self, reg: &mut rococo_telemetry::MetricsRegistry) {
+        reg.counter(
+            "rococo_tm_starts_total",
+            "Transaction attempts started",
+            &[],
+            self.starts,
+        );
+        reg.counter(
+            "rococo_tm_commits_total",
+            "Transactions committed",
+            &[],
+            self.commits,
+        );
+        for kind in AbortKind::ALL {
+            reg.counter(
+                "rococo_tm_aborts_total",
+                "Transaction aborts by cause",
+                &[("kind", kind.as_label())],
+                self.aborts.get(&kind).copied().unwrap_or(0),
+            );
+        }
+        reg.counter(
+            "rococo_tm_fallback_commits_total",
+            "Commits that ran on a fallback path",
+            &[],
+            self.fallback_commits,
+        );
+        reg.counter(
+            "rococo_tm_read_only_commits_total",
+            "Read-only commits (never leave the CPU)",
+            &[],
+            self.read_only_commits,
+        );
+        reg.counter(
+            "rococo_tm_validation_ns_total",
+            "Wall-clock nanoseconds spent in validation",
+            &[],
+            self.validation_ns,
+        );
+        reg.counter(
+            "rococo_tm_validation_model_ns_total",
+            "Model-time nanoseconds spent in validation",
+            &[],
+            self.validation_model_ns,
+        );
+        reg.counter(
+            "rococo_tm_validations_total",
+            "Validation phases measured",
+            &[],
+            self.validations,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -497,8 +574,18 @@ mod tests {
     }
 
     #[test]
-    fn abort_display() {
+    fn abort_display_uses_the_canonical_label() {
         let a = Abort::new(AbortKind::Capacity);
-        assert!(a.to_string().contains("Capacity"));
+        assert_eq!(a.to_string(), "transaction aborted: htm-capacity");
+    }
+
+    #[test]
+    fn labels_are_unique_and_stable() {
+        let labels: Vec<&str> = AbortKind::ALL.iter().map(|k| k.as_label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), AbortKind::COUNT, "duplicate label");
+        assert_eq!(labels[AbortKind::Conflict.index()], "cpu-stale-read");
     }
 }

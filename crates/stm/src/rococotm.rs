@@ -343,6 +343,14 @@ impl RococoTx<'_> {
 
             // Line 20.
             self.read_set.insert(&self.tm.scheme, addr as u64);
+            // Flight-recorder sampling: record read-set growth at
+            // power-of-two sizes so big transactions stay cheap to trace.
+            if rococo_telemetry::enabled() {
+                let len = self.read_set.len();
+                if len.is_power_of_two() {
+                    rococo_telemetry::emit(rococo_telemetry::TxEvent::ReadSet { len: len as u32 });
+                }
+            }
             return Ok(v);
         }
     }
@@ -358,6 +366,11 @@ impl Transaction for RococoTx<'_> {
         if !self.redo.contains_key(&addr) {
             self.tm.scheme.insert(&mut self.write_sig, addr as u64);
             self.write_addrs.push(addr);
+            if rococo_telemetry::enabled() && self.write_addrs.len().is_power_of_two() {
+                rococo_telemetry::emit(rococo_telemetry::TxEvent::WriteSet {
+                    len: self.write_addrs.len() as u32,
+                });
+            }
         }
         self.redo.insert(addr, val);
         Ok(())
@@ -391,6 +404,10 @@ impl Transaction for RococoTx<'_> {
             write_addrs: self.write_addrs.iter().map(|&a| a as u64).collect(),
         };
         let n_addrs = req.read_addrs.len() + req.write_addrs.len();
+        rococo_telemetry::tlm_event!(rococo_telemetry::TxEvent::ValidateSubmit {
+            reads: req.read_addrs.len() as u32,
+            writes: req.write_addrs.len() as u32,
+        });
         let t0 = Instant::now();
         let verdict = tm.handle.validate(req);
         let wall_ns = t0.elapsed().as_nanos() as u64;
@@ -400,6 +417,18 @@ impl Transaction for RococoTx<'_> {
             Ordering::Relaxed,
         );
         tm.stats.validations.fetch_add(1, Ordering::Relaxed);
+        rococo_telemetry::tlm_event!(rococo_telemetry::TxEvent::Verdict {
+            verdict: match verdict {
+                FpgaVerdict::Commit { .. } => "commit",
+                FpgaVerdict::AbortCycle => "abort-cycle",
+                FpgaVerdict::AbortWindowOverflow => "abort-window",
+                FpgaVerdict::ServiceStopped => "service-stopped",
+            },
+            model_ns: tm.config.timing.latency_ns(n_addrs) as u64,
+            detector_ns: tm.config.timing.detector_ns(n_addrs) as u64,
+            manager_ns: tm.config.timing.manager_ns() as u64,
+            in_flight: tm.handle.in_flight() as u32,
+        });
 
         let seq = match verdict {
             FpgaVerdict::Commit { seq } => seq,
@@ -483,9 +512,16 @@ impl TmSystem for RococoTm {
         // Escalate to irrevocability after repeated aborts: hold the
         // commit gate exclusively so GlobalTS freezes — no update-set
         // hits, no missed updates, no forward edges, guaranteed commit.
-        let irrevocable = if self.consecutive_aborts[thread_id].load(Ordering::Relaxed)
-            >= self.config.irrevocable_after
-        {
+        let aborts_so_far = self.consecutive_aborts[thread_id].load(Ordering::Relaxed);
+        let irrevocable = if aborts_so_far >= self.config.irrevocable_after {
+            // Escalation is the anomaly the flight recorder exists for:
+            // record it and dump this thread's event history.
+            if rococo_telemetry::enabled() {
+                rococo_telemetry::emit(rococo_telemetry::TxEvent::Escalated {
+                    consecutive_aborts: aborts_so_far,
+                });
+                rococo_telemetry::dump_anomaly("irrevocability-escalation");
+            }
             Some(self.commit_gate.write())
         } else {
             None
@@ -511,6 +547,10 @@ impl TmSystem for RococoTm {
 
     fn injected_faults(&self) -> Option<FaultSnapshot> {
         Some(self.handle.fault_stats())
+    }
+
+    fn engine_stats(&self) -> Option<EngineStats> {
+        Some(self.fpga_stats())
     }
 }
 

@@ -1,0 +1,67 @@
+//! `rococo-telemetry`: the observability layer for the ROCoCoTM stack.
+//!
+//! Three pillars, all dependency-free (std only) so every other crate in
+//! the workspace can depend on this one without cycles:
+//!
+//! 1. [`registry`] — a metrics registry of named counters, gauges and
+//!    histograms with label support, rendered as Prometheus text
+//!    exposition or as a JSON snapshot. The stats structs scattered
+//!    across the stack (`ShardStats`, `TmStats`, `EngineStats`,
+//!    `FaultStats`, `WalStats`) each gain an adapter in their home crate
+//!    that re-exports them here under one `rococo_*` namespace.
+//!
+//! 2. [`recorder`] — a transaction *flight recorder*: per-thread ring
+//!    buffers of lifecycle events (begin, read/write-set growth,
+//!    validate submit, FPGA verdict with pipeline occupancy, abort with
+//!    its [`TxEvent::Abort`] kind label, commit sequence number,
+//!    irrevocability escalation, WAL append/fsync acknowledgement, retry
+//!    backoff, injected faults). Emission is buffered and re-execution
+//!    safe — an aborted transaction attempt simply leaves its events in
+//!    the ring, attributed to that attempt — which is why emission is
+//!    legal inside atomic closures (and allowlisted by `rococo-lint`'s
+//!    `atomic-side-effect` rule). When the recorder is disabled the cost
+//!    at every instrumentation point is a branch on one relaxed atomic
+//!    load: no allocation, no locking, no clock read.
+//!
+//! 3. [`trace`] — a Chrome trace-event (Perfetto-loadable) exporter that
+//!    renders per-transaction spans and FPGA Detector→Manager stage
+//!    occupancy on a shared timeline, either live from drained recorder
+//!    events or from the cycle-level pipeline simulator (`trace_dump`).
+//!
+//! The [`json`] module is a minimal JSON escape/parse helper used by the
+//! renderers and by the artifact schema tests; it exists because the
+//! vendored `serde` shim is declaration-only and serializes nothing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod recorder;
+pub mod registry;
+pub mod trace;
+
+pub use recorder::{
+    disable, drain_events, dump_anomaly, emit, enable, enabled, flush_thread, lane_names,
+    take_dumps, AnomalyDump, EventRecord, TxEvent, DEFAULT_RING_EVENTS,
+};
+pub use registry::{validate_prometheus, HistogramPoints, MetricsRegistry};
+pub use trace::{build_tx_trace, Arg, TraceBuilder, DETECTOR_TID, FPGA_PID, MANAGER_TID, TX_PID};
+
+/// Emits a flight-recorder event if the recorder is enabled.
+///
+/// The event expression is evaluated *only after* the enabled check, so
+/// a disabled recorder costs one relaxed atomic load and a branch — the
+/// argument may therefore read cheap state (set sizes, sequence
+/// numbers) without taxing the disabled hot path.
+///
+/// Emission is buffered into the calling thread's ring and never blocks,
+/// allocates on the hot path (the ring is pre-sized), or performs I/O,
+/// which makes it legal inside re-executable atomic closures.
+#[macro_export]
+macro_rules! tlm_event {
+    ($ev:expr) => {
+        if $crate::enabled() {
+            $crate::emit($ev);
+        }
+    };
+}

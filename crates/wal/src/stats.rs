@@ -80,6 +80,30 @@ impl Pow2Snapshot {
         }
     }
 
+    /// Converts to cumulative-bucket histogram points for Prometheus
+    /// export: one `le` bound per non-empty power-of-two bucket edge.
+    pub fn to_points(&self) -> rococo_telemetry::HistogramPoints {
+        let mut bounds = Vec::new();
+        let mut cumulative = Vec::new();
+        let mut running = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            running += c;
+            // Bucket 0 holds v == 0 (upper edge 0); bucket i>0 spans
+            // [2^(i-1), 2^i), upper edge 2^i. Skip trailing empty octaves
+            // past the data to keep the exposition small.
+            if c > 0 || i == 0 {
+                bounds.push(if i == 0 { 0 } else { 1u64 << i });
+                cumulative.push(running);
+            }
+        }
+        rococo_telemetry::HistogramPoints {
+            bounds,
+            cumulative,
+            count: self.count,
+            sum: self.sum as f64,
+        }
+    }
+
     /// Upper bound of the bucket holding quantile `q` in `0.0..=1.0` —
     /// a conservative (over-)estimate of the quantile. 0 when empty.
     pub fn quantile_upper(&self, q: f64) -> u64 {
@@ -160,6 +184,71 @@ impl WalSnapshot {
     /// Mean records per group-commit batch.
     pub fn mean_batch(&self) -> f64 {
         self.batch_sizes.mean()
+    }
+
+    /// Publishes the WAL counters into a metrics registry under the
+    /// unified `rococo_wal_*` namespace.
+    pub fn export_metrics(&self, reg: &mut rococo_telemetry::MetricsRegistry) {
+        reg.counter(
+            "rococo_wal_appended_records_total",
+            "Records written to the log",
+            &[],
+            self.appended_records,
+        );
+        reg.counter(
+            "rococo_wal_appended_bytes_total",
+            "Bytes written to the log",
+            &[],
+            self.appended_bytes,
+        );
+        reg.counter(
+            "rococo_wal_batches_total",
+            "Group-commit batches flushed",
+            &[],
+            self.batches,
+        );
+        reg.counter(
+            "rococo_wal_fsyncs_total",
+            "fsync calls issued",
+            &[],
+            self.fsyncs,
+        );
+        reg.counter(
+            "rococo_wal_acked_records_total",
+            "Records acked back to submitters",
+            &[],
+            self.acked_records,
+        );
+        reg.counter(
+            "rococo_wal_failed_appends_total",
+            "Appends rejected because the writer was dead",
+            &[],
+            self.failed_appends,
+        );
+        reg.counter(
+            "rococo_wal_checkpoints_total",
+            "Checkpoints completed",
+            &[],
+            self.checkpoints,
+        );
+        reg.counter(
+            "rococo_wal_truncations_total",
+            "Log truncations completed",
+            &[],
+            self.truncations,
+        );
+        reg.histogram(
+            "rococo_wal_batch_records",
+            "Group-commit batch-size distribution (records per flush)",
+            &[],
+            self.batch_sizes.to_points(),
+        );
+        reg.histogram(
+            "rococo_wal_fsync_ns",
+            "Per-fsync latency distribution in nanoseconds",
+            &[],
+            self.fsync_ns.to_points(),
+        );
     }
 }
 

@@ -343,6 +343,10 @@ impl WriterState {
             let dt = t0.elapsed().as_nanos() as u64;
             self.shared.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
             self.shared.stats.fsync_ns.record(dt);
+            rococo_telemetry::tlm_event!(rococo_telemetry::TxEvent::WalFsync {
+                records: self.shared.stats.acked_records.load(Ordering::Relaxed),
+                ns: dt,
+            });
         }
         Ok(())
     }
@@ -532,6 +536,7 @@ fn writer_loop(cfg: WalConfig, file: File, next: u64, rx: Receiver<Cmd>, shared:
     if !st.shared.dead.load(Ordering::SeqCst) {
         let _ = st.file.sync_data();
     }
+    rococo_telemetry::flush_thread();
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@
 //! | [`sim`] | `rococo-sim` | virtual-time multicore simulator for speedup studies on small hosts |
 //! | [`server`] | `rococo-server` | TxKV: sharded transactional KV service with admission control, bounded retry, and latency/abort observability |
 //! | [`wal`] | `rococo-wal` | write-ahead log: group commit, checkpoints, torn-tail recovery, crash-point injection |
+//! | [`telemetry`] | `rococo-telemetry` | observability: metrics registry (Prometheus/JSON), transaction flight recorder, Perfetto trace export |
 //!
 //! # Quickstart
 //!
@@ -51,5 +52,6 @@ pub use rococo_sigs as sigs;
 pub use rococo_sim as sim;
 pub use rococo_stamp as stamp;
 pub use rococo_stm as stm;
+pub use rococo_telemetry as telemetry;
 pub use rococo_trace as trace;
 pub use rococo_wal as wal;
