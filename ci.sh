@@ -9,21 +9,29 @@
 #   ./ci.sh --recovery # + the crash-recovery tier: the seeded kill-point x
 #                      #   fsync-mode matrix (WAL writer killed under load,
 #                      #   recovery checked for prefix consistency)
+#   ./ci.sh --repl     # + the replication tier: the seeded fail-over matrix
+#                      #   (kill points mid-batch-ship / pre-ack /
+#                      #   during-election, partition, lossy links; replicas
+#                      #   checked for convergence and read-your-writes)
 #   ./ci.sh --lint-json # + write the machine-readable lint report to
 #                      #   LINT_report.json (CI artifact)
 #
 # The nightly job sets CHAOS_EXTENDED=1, which widens the stress tier to
-# the full seed sweep and the hostile commit-queue geometries.
+# the full seed sweep and the hostile commit-queue geometries, and
+# REPL_EXTENDED=1, which widens the replication tier to every
+# service-capable backend with longer runs.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 STRESS=0
 RECOVERY=0
+REPL=0
 LINT_JSON=0
 for arg in "$@"; do
   case "$arg" in
     --stress) STRESS=1 ;;
     --recovery) RECOVERY=1 ;;
+    --repl) REPL=1 ;;
     --lint-json) LINT_JSON=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -69,6 +77,11 @@ fi
 if [[ "$RECOVERY" == "1" ]]; then
   echo "== crash-recovery tier (kill-point x fsync-mode matrix, seeded)"
   cargo run --release -q -p rococo-chaos --bin recovery -- --matrix --quiet
+fi
+
+if [[ "$REPL" == "1" || "${REPL_EXTENDED:-0}" == "1" ]]; then
+  echo "== replication tier (seeded fail-over matrix; REPL_EXTENDED=1 for the nightly sweep)"
+  cargo run --release -q -p rococo-chaos --bin repl_cluster -- --matrix --quiet
 fi
 
 echo "CI OK"

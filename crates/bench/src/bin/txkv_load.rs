@@ -26,15 +26,16 @@ use rand::distributions::Distribution;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rococo_bench::banner;
+use rococo_repl::{Cluster, ClusterConfig, ReplError};
 use rococo_server::{
     DurabilityConfig, PendingReply, Request, Response, TelemetryConfig, TxKv, TxKvConfig, TxKvError,
 };
 use rococo_stm::{RococoTm, TinyStm, TmConfig, TmSystem, TsxHtm};
 use rococo_trace::ZipfSampler;
-use rococo_wal::FsyncPolicy;
+use rococo_wal::{FsyncPolicy, Pow2Histogram};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -89,6 +90,10 @@ struct LoadCfg {
     /// Run each configuration twice — flight recorder off, then on — so
     /// the JSON report carries a before/after throughput pair.
     compare_telemetry: bool,
+    /// Follower replica count; non-zero switches to replicated cluster
+    /// mode (closed loop, WAL-shipped replication, one mid-run
+    /// fail-over), emitting `repl` rows with lag and downtime.
+    replicas: usize,
 }
 
 impl Default for LoadCfg {
@@ -109,6 +114,7 @@ impl Default for LoadCfg {
             json_path: "BENCH_txkv.json".into(),
             telemetry: None,
             compare_telemetry: false,
+            replicas: 0,
         }
     }
 }
@@ -151,6 +157,7 @@ fn parse_args() -> LoadCfg {
             "--json" => cfg.json_path = value("--json"),
             "--telemetry" => cfg.telemetry = Some(value("--telemetry")),
             "--compare-telemetry" => cfg.compare_telemetry = true,
+            "--replicas" => cfg.replicas = value("--replicas").parse().expect("--replicas"),
             "--quick" => cfg.ops = 100_000,
             "--help" | "-h" => {
                 println!(
@@ -158,7 +165,7 @@ fn parse_args() -> LoadCfg {
                      [--shards N] [--workers N] [--clients N] [--keys N] [--theta F] \
                      [--read-pct P] [--mode closed|open] [--rate R] [--queue N] \
                      [--durability none,always,everyN,never] [--json PATH|none] \
-                     [--telemetry DIR] [--compare-telemetry] [--quick]"
+                     [--telemetry DIR] [--compare-telemetry] [--replicas N] [--quick]"
                 );
                 std::process::exit(0);
             }
@@ -322,6 +329,22 @@ struct RunResult {
     /// (the before/after pair `--compare-telemetry` produces).
     flight_recorder: bool,
     wal: Option<rococo_wal::WalSnapshot>,
+    /// Replication figures; present only on `--replicas` rows so the
+    /// single-node schema is untouched.
+    repl: Option<ReplRun>,
+}
+
+/// The replication columns of a `--replicas` row.
+struct ReplRun {
+    replicas: usize,
+    /// Replication lag percentiles in commit sequence numbers, sampled
+    /// across all live followers every 500us.
+    lag_p50_seq: u64,
+    lag_p99_seq: u64,
+    /// Demotion-to-serving wall time of the mid-run fail-over.
+    failover_ms: f64,
+    /// Gets served by follower replicas instead of the primary.
+    follower_reads: u64,
 }
 
 impl RunResult {
@@ -348,6 +371,14 @@ impl RunResult {
             self.p999_ns,
             self.flight_recorder,
         );
+        if let Some(r) = &self.repl {
+            let _ = write!(
+                out,
+                ",\"repl\":{{\"replicas\":{},\"lag_p50_seq\":{},\"lag_p99_seq\":{},\
+                 \"failover_ms\":{:.2},\"follower_reads\":{}}}",
+                r.replicas, r.lag_p50_seq, r.lag_p99_seq, r.failover_ms, r.follower_reads,
+            );
+        }
         match &self.wal {
             Some(w) => {
                 let _ = write!(
@@ -518,6 +549,252 @@ fn run_backend<S: TmSystem + 'static>(
         p999_ns: stats.latency.p999_ns,
         flight_recorder: recorder_on,
         wal: report.wal.clone(),
+        repl: None,
+    }
+}
+
+/// Replicated-mode request mix: as [`gen_request`], except transfers
+/// become blind adds — cluster preloads would have to replicate through
+/// the WAL key by key, and the chaos harness already owns transfer
+/// correctness; the bench measures shipping, lag, and fail-over cost.
+fn gen_repl_request(rng: &mut StdRng, zipf: &ZipfSampler, cfg: &LoadCfg) -> Request {
+    match gen_request(rng, zipf, cfg) {
+        Request::Transfer { from, amount, .. } => Request::Add {
+            key: from,
+            delta: amount,
+        },
+        req => req,
+    }
+}
+
+/// Closed-loop client against the cluster: writes go to the primary
+/// (riding out fail-over by attempting recovery like a real client-side
+/// coordinator), point gets are served by follower replicas.
+fn repl_closed_loop<S: TmSystem + 'static>(
+    cluster: &Cluster<S>,
+    cfg: &LoadCfg,
+    client: usize,
+    quota: u64,
+    totals: &ClientTotals,
+    latency: &Pow2Histogram,
+    follower_reads: &AtomicU64,
+) {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ (client as u64) << 8);
+    let zipf = ZipfSampler::new(cfg.keys, cfg.theta);
+    let followers = cluster.follower_count();
+    let mut next_follower = client % followers.max(1);
+    let mut done = 0u64;
+    while done < quota {
+        let req = gen_repl_request(&mut rng, &zipf, cfg);
+        let start = Instant::now();
+        // Route point gets to a follower (an eventually-consistent read
+        // with no watermark); a crashed or promoted follower falls back
+        // to the primary.
+        if let Request::Get { key } = req {
+            if followers > 0 {
+                next_follower = (next_follower + 1) % followers;
+                if cluster
+                    .follower_read(next_follower, key, None, Duration::ZERO)
+                    .is_ok()
+                {
+                    follower_reads.fetch_add(1, Ordering::Relaxed);
+                    totals.ok.fetch_add(1, Ordering::Relaxed);
+                    latency.record(start.elapsed().as_nanos() as u64);
+                    done += 1;
+                    continue;
+                }
+            }
+        }
+        loop {
+            match cluster.call(req.clone()) {
+                Ok(_) => {
+                    totals.ok.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Err(ReplError::Kv(TxKvError::Overloaded { .. })) => {
+                    totals.shed.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                Err(ReplError::PrimaryDown) => {
+                    // The primary is fenced mid-fail-over: help it along
+                    // (the epoch check makes racing helpers harmless) and
+                    // retry — the stall is real client latency.
+                    let _ = cluster.recover_primary(cluster.epoch());
+                }
+                Err(_) => {
+                    totals.failed.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        latency.record(start.elapsed().as_nanos() as u64);
+        done += 1;
+    }
+}
+
+/// One replicated cluster run: closed-loop load, a lag sampler, and one
+/// mid-run fail-over so the row carries a measured downtime.
+fn run_replicated<S: TmSystem + 'static>(
+    make: impl Fn() -> Arc<S> + Send + Sync + 'static,
+    cfg: &LoadCfg,
+) -> RunResult {
+    let rcfg = ClusterConfig {
+        followers: cfg.replicas,
+        keys: cfg.keys,
+        shards: cfg.shards,
+        workers_per_shard: cfg.workers_per_shard,
+        queue_capacity: cfg.queue_capacity,
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::start(make, rcfg).expect("cluster start");
+    banner(&format!(
+        "txkv_load replicated ({} shards x {} workers, {} followers, {} closed-loop clients)",
+        cfg.shards, cfg.workers_per_shard, cfg.replicas, cfg.clients,
+    ));
+
+    let totals = ClientTotals {
+        ok: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+    };
+    let latency = Pow2Histogram::default();
+    let lag_hist = Pow2Histogram::default();
+    let follower_reads = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let fail_at = cfg.ops / 2;
+    let mut failover_ms = 0.0f64;
+
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        let base = cfg.ops / cfg.clients as u64;
+        let rem = cfg.ops % cfg.clients as u64;
+        for client in 0..cfg.clients {
+            let quota = base + u64::from((client as u64) < rem);
+            let cluster = &cluster;
+            let totals = &totals;
+            let latency = &latency;
+            let follower_reads = &follower_reads;
+            s.spawn(move || {
+                repl_closed_loop(cluster, cfg, client, quota, totals, latency, follower_reads);
+            });
+        }
+
+        // Coordinator: sample replication lag, and demote the primary
+        // once half the offered load has been answered so the row
+        // carries a fail-over downtime measured under live traffic.
+        let cluster = &cluster;
+        let sampler_totals = &totals;
+        let lag_hist = &lag_hist;
+        let sampler_stop = &stop;
+        let failover_ms = &mut failover_ms;
+        s.spawn(move || {
+            let mut triggered = false;
+            while !sampler_stop.load(Ordering::Relaxed) {
+                if let Some(max_lag) = (0..cluster.follower_count())
+                    .filter_map(|f| cluster.lag(f).ok())
+                    .max()
+                {
+                    lag_hist.record(max_lag);
+                }
+                if !triggered && sampler_totals.ok.load(Ordering::Relaxed) >= fail_at {
+                    triggered = true;
+                    if let Ok(report) = cluster.fail_over() {
+                        *failover_ms = report.downtime.as_secs_f64() * 1e3;
+                    }
+                }
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        });
+
+        // The clients' scope handles finish first conceptually, but the
+        // sampler only exits once told to — tell it when every client
+        // quota can be complete. A dedicated watcher keeps the scope
+        // simple: poll the answered count.
+        let watcher_totals = &totals;
+        let watcher_stop = &stop;
+        s.spawn(move || {
+            while watcher_totals.ok.load(Ordering::Relaxed)
+                + watcher_totals.failed.load(Ordering::Relaxed)
+                < cfg.ops
+            {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            watcher_stop.store(true, Ordering::Relaxed);
+        });
+    });
+    let wall = started.elapsed();
+
+    let ok = totals.ok.load(Ordering::Relaxed);
+    let shed = totals.shed.load(Ordering::Relaxed);
+    let failed = totals.failed.load(Ordering::Relaxed);
+    let snapshot = cluster.snapshot();
+    let report = cluster.shutdown();
+    let (committed, aborts, attempts) = report.primary.iter().chain(report.demoted.iter()).fold(
+        (0u64, 0u64, 0u64),
+        |(c, a, t), r| {
+            (
+                c + r.aggregate.committed,
+                a + r.aggregate.total_aborts(),
+                t + r.aggregate.committed + r.aggregate.retries,
+            )
+        },
+    );
+    let lat = latency.snapshot();
+    let lag = lag_hist.snapshot();
+    println!(
+        "client view: {} offered, {} answered ({} by followers), {} shed, {} failed, \
+         {:.0} req/s over {:.2}s",
+        cfg.ops,
+        ok,
+        follower_reads.load(Ordering::Relaxed),
+        shed,
+        failed,
+        ok as f64 / wall.as_secs_f64(),
+        wall.as_secs_f64(),
+    );
+    println!(
+        "replication: {} batches shipped, {} applied, lag p50/p99 {}/{} seq, \
+         {} gaps, {} resends, fail-over {:.2}ms, epoch {}",
+        snapshot.batches_shipped,
+        snapshot.batches_applied,
+        lag.quantile_upper(0.5),
+        lag.quantile_upper(0.99),
+        snapshot.gaps_detected,
+        snapshot.resends,
+        failover_ms,
+        snapshot.epoch,
+    );
+
+    let backend = report
+        .primary
+        .as_ref()
+        .or_else(|| report.demoted.first())
+        .map_or("unknown", |r| r.backend);
+    RunResult {
+        backend,
+        durability: FsyncPolicy::Always.name(),
+        elapsed_s: wall.as_secs_f64(),
+        committed,
+        throughput_rps: ok as f64 / wall.as_secs_f64().max(1e-9),
+        shed,
+        failed,
+        abort_rate: if attempts > 0 {
+            aborts as f64 / attempts as f64
+        } else {
+            0.0
+        },
+        p50_ns: lat.quantile_upper(0.5),
+        p99_ns: lat.quantile_upper(0.99),
+        p999_ns: lat.quantile_upper(0.999),
+        flight_recorder: false,
+        wal: report.primary.as_ref().and_then(|r| r.wal.clone()),
+        repl: Some(ReplRun {
+            replicas: cfg.replicas,
+            lag_p50_seq: lag.quantile_upper(0.5),
+            lag_p99_seq: lag.quantile_upper(0.99),
+            failover_ms,
+            follower_reads: follower_reads.load(Ordering::Relaxed),
+        }),
     }
 }
 
@@ -580,6 +857,35 @@ fn main() {
             "unknown backend {} (tinystm|htm|rococo|both|all)",
             cfg.backend
         );
+    }
+    // Replicated mode: one row per backend, always-durable, closed
+    // loop; the single-node durability/telemetry matrix does not apply.
+    if cfg.replicas > 0 {
+        assert!(
+            cfg.mode == Mode::Closed,
+            "replicated mode is closed-loop only"
+        );
+        let mut results = Vec::new();
+        if run_tiny {
+            results.push(run_replicated(
+                move || Arc::new(TinyStm::with_config(tm_cfg)),
+                &cfg,
+            ));
+        }
+        if run_htm {
+            results.push(run_replicated(
+                move || Arc::new(TsxHtm::with_config(tm_cfg)),
+                &cfg,
+            ));
+        }
+        if run_rococo {
+            results.push(run_replicated(
+                move || Arc::new(RococoTm::with_config(tm_cfg)),
+                &cfg,
+            ));
+        }
+        write_json(&cfg, &results);
+        return;
     }
     // --compare-telemetry runs each configuration twice (flight
     // recorder off, then on) so the JSON report carries a before/after

@@ -32,12 +32,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod driver;
 pub mod history;
 pub mod oracle;
 pub mod recovery;
 pub mod workload;
 
+pub use cluster::{
+    cluster_reproducer, cluster_sweep, run_cluster, ClusterKill, ClusterParams, ClusterRunReport,
+    CLUSTER_BANK_BALANCE,
+};
 pub use driver::{
     reproducer_command, run_chaos, shrink, sweep, BackendKind, ChaosParams, ChaosReport,
     FaultPreset,

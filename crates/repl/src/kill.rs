@@ -1,0 +1,110 @@
+//! Crash-point injection for the replication layer, mirroring the WAL's
+//! [`rococo_wal::KillSwitch`] idiom: the chaos harness arms one point
+//! with an occurrence count, the cluster polls it, and when it fires the
+//! affected component dies on the spot.
+//!
+//! The WAL's own kill points still apply to the primary's log (the
+//! `pre-ack` scenario arms [`rococo_wal::KillPoint::PostAppendPreAck`]
+//! there); the points here cover the parts of the failure surface the
+//! log cannot see — the broadcast fan-out and the election itself.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where in the replication lifecycle the simulated crash strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplKillPoint {
+    /// The primary dies midway through broadcasting a stream batch: a
+    /// strict prefix of the followers receives it, the rest must
+    /// gap-detect against whatever the fail-over recovers.
+    MidShip,
+    /// The elected follower crashes after winning the election but
+    /// before catch-up completes: the coordinator must fall back to the
+    /// next-most-caught-up follower (or recover with none left).
+    DuringElection,
+}
+
+impl ReplKillPoint {
+    /// Every replication kill point, in lifecycle order.
+    pub const ALL: [ReplKillPoint; 2] = [ReplKillPoint::MidShip, ReplKillPoint::DuringElection];
+
+    /// Stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplKillPoint::MidShip => "mid-batch-ship",
+            ReplKillPoint::DuringElection => "during-election",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+/// A one-shot crash trigger shared between the harness and the cluster.
+#[derive(Debug)]
+pub struct ReplKillSwitch {
+    point: ReplKillPoint,
+    /// Opportunities left before firing; fires when this hits zero.
+    remaining: AtomicU64,
+    fired: AtomicBool,
+}
+
+impl ReplKillSwitch {
+    /// Arms a switch that fires at the `after`-th occurrence (1-based)
+    /// of `point`.
+    pub fn arm(point: ReplKillPoint, after: u64) -> Arc<Self> {
+        Arc::new(Self {
+            point,
+            remaining: AtomicU64::new(after.max(1)),
+            fired: AtomicBool::new(false),
+        })
+    }
+
+    /// Polled by the cluster at each kill point; `true` means "die now".
+    pub fn should_fire(&self, point: ReplKillPoint) -> bool {
+        if point != self.point || self.fired.load(Ordering::SeqCst) {
+            return false;
+        }
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.fired.store(true, Ordering::SeqCst);
+            return true;
+        }
+        false
+    }
+
+    /// Whether the simulated crash actually happened.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// The armed kill point.
+    pub fn point(&self) -> ReplKillPoint {
+        self.point
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_once_at_the_nth_opportunity() {
+        let k = ReplKillSwitch::arm(ReplKillPoint::MidShip, 2);
+        assert!(!k.should_fire(ReplKillPoint::DuringElection));
+        assert!(!k.should_fire(ReplKillPoint::MidShip));
+        assert!(!k.fired());
+        assert!(k.should_fire(ReplKillPoint::MidShip));
+        assert!(k.fired());
+        assert!(!k.should_fire(ReplKillPoint::MidShip));
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for p in ReplKillPoint::ALL {
+            assert_eq!(ReplKillPoint::parse(p.name()), Some(p));
+        }
+        assert_eq!(ReplKillPoint::parse("nope"), None);
+    }
+}

@@ -135,7 +135,7 @@ impl TxKvConfig {
 /// with [`PendingReply::wait`].
 #[derive(Debug)]
 pub struct PendingReply {
-    rx: Receiver<Result<Response, TxKvError>>,
+    rx: Receiver<Result<(Response, Option<u64>), TxKvError>>,
 }
 
 impl PendingReply {
@@ -147,12 +147,27 @@ impl PendingReply {
     /// [`TxKvError::ShuttingDown`] if the service stopped before
     /// answering.
     pub fn wait(self) -> Result<Response, TxKvError> {
+        self.wait_with_seq().map(|(resp, _)| resp)
+    }
+
+    /// Blocks until the shard worker answers, returning the commit
+    /// sequence number alongside the response. `None` for read-only
+    /// requests (they commit without consuming a sequence number). In
+    /// durable mode the sequence is the on-disk (rebased) one — the
+    /// number the WAL logged and the replication stream ships, so it can
+    /// be used directly as a read-your-writes watermark against a
+    /// follower.
+    ///
+    /// # Errors
+    ///
+    /// As [`PendingReply::wait`].
+    pub fn wait_with_seq(self) -> Result<(Response, Option<u64>), TxKvError> {
         self.rx.recv().unwrap_or(Err(TxKvError::ShuttingDown))
     }
 
     /// Non-blocking poll: `None` while the request is still in flight.
     pub fn try_wait(&self) -> Option<Result<Response, TxKvError>> {
-        self.rx.try_recv().ok()
+        self.rx.try_recv().ok().map(|r| r.map(|(resp, _)| resp))
     }
 }
 
@@ -556,6 +571,17 @@ impl<S: TmSystem + 'static> TxKv<S> {
     /// ([`TxKvError::RetriesExhausted`]).
     pub fn call(&self, req: Request) -> Result<Response, TxKvError> {
         self.submit(req)?.wait()
+    }
+
+    /// Submits a request and blocks for the response plus its commit
+    /// sequence number (see [`PendingReply::wait_with_seq`]) — the
+    /// building block for replication watermarks.
+    ///
+    /// # Errors
+    ///
+    /// As [`TxKv::call`].
+    pub fn call_with_seq(&self, req: Request) -> Result<(Response, Option<u64>), TxKvError> {
+        self.submit(req)?.wait_with_seq()
     }
 
     /// A live report (counters keep moving while it is taken).

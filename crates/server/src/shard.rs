@@ -13,11 +13,15 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// One queued request plus everything needed to answer it.
+/// One queued request plus everything needed to answer it. The reply
+/// carries the commit sequence number alongside the response (`None` for
+/// read-only commits) so replication-aware clients can derive
+/// read-your-writes watermarks; [`crate::PendingReply::wait`] drops it
+/// for callers that do not care.
 pub(crate) struct Job {
     pub(crate) req: Request,
     pub(crate) enqueued_at: Instant,
-    pub(crate) reply: Sender<Result<Response, TxKvError>>,
+    pub(crate) reply: Sender<Result<(Response, Option<u64>), TxKvError>>,
 }
 
 /// The durable half of a worker's context: the WAL client it appends
@@ -138,7 +142,14 @@ pub(crate) fn run_worker<S: TmSystem + ?Sized>(ctx: WorkerCtx<S>) {
                     .retries
                     .fetch_add(u64::from(attempts - 1), Ordering::Relaxed);
                 // Log the committed write set before acking. Read-only
-                // commits (seq None) have nothing to make durable.
+                // commits (seq None) have nothing to make durable. The
+                // sequence handed back to the client is the *on-disk*
+                // (rebased) one in durable mode — the number replication
+                // watermarks are expressed in.
+                let client_seq = match (&wal, seq) {
+                    (Some(w), Some(seq)) => Some(w.base_seq + seq),
+                    _ => seq,
+                };
                 let durable = match (&wal, seq) {
                     (Some(w), Some(seq)) => {
                         let n_writes = writes.len() as u32;
@@ -158,7 +169,7 @@ pub(crate) fn run_worker<S: TmSystem + ?Sized>(ctx: WorkerCtx<S>) {
                 match durable {
                     Ok(()) => {
                         stats.committed.fetch_add(1, Ordering::Relaxed);
-                        Ok(resp)
+                        Ok((resp, client_seq))
                     }
                     Err(_) => {
                         stats.durability_lost.fetch_add(1, Ordering::Relaxed);

@@ -117,6 +117,32 @@ pub enum TxEvent {
     DurabilityLost,
     /// A transaction body panicked in a worker.
     WorkerPanic,
+    /// The replication shipper broadcast a stream batch to a follower.
+    ReplShip {
+        /// First commit sequence number in the batch.
+        first_seq: u64,
+        /// Records in the batch.
+        records: u32,
+        /// Follower the batch was shipped to.
+        follower: u32,
+    },
+    /// A follower applied a replication batch to its store.
+    ReplApply {
+        /// The follower's index in the cluster.
+        follower: u32,
+        /// First sequence number *not yet* applied after this batch (the
+        /// follower's new watermark).
+        next_seq: u64,
+        /// Records applied from the batch (duplicates skipped).
+        records: u32,
+    },
+    /// The cluster coordinator completed a primary fail-over.
+    Failover {
+        /// The cluster epoch after the fail-over.
+        epoch: u64,
+        /// Index of the follower elected as the new primary.
+        elected: u32,
+    },
 }
 
 impl TxEvent {
@@ -137,6 +163,9 @@ impl TxEvent {
             TxEvent::Fault { .. } => "fault",
             TxEvent::DurabilityLost => "durability-lost",
             TxEvent::WorkerPanic => "worker-panic",
+            TxEvent::ReplShip { .. } => "repl-ship",
+            TxEvent::ReplApply { .. } => "repl-apply",
+            TxEvent::Failover { .. } => "failover",
         }
     }
 }

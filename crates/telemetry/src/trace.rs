@@ -383,6 +383,46 @@ pub fn build_tx_trace(events: &[EventRecord], lanes: &[(u32, String)]) -> String
                 TxEvent::WorkerPanic => {
                     tb.instant("worker-panic", "anomaly", TX_PID, lane, ts, &[])
                 }
+                TxEvent::ReplShip {
+                    first_seq,
+                    records,
+                    follower,
+                } => tb.instant(
+                    "repl-ship",
+                    "repl",
+                    TX_PID,
+                    lane,
+                    ts,
+                    &[
+                        ("first_seq", first_seq.into()),
+                        ("records", records.into()),
+                        ("follower", follower.into()),
+                    ],
+                ),
+                TxEvent::ReplApply {
+                    follower,
+                    next_seq,
+                    records,
+                } => tb.instant(
+                    "repl-apply",
+                    "repl",
+                    TX_PID,
+                    lane,
+                    ts,
+                    &[
+                        ("follower", follower.into()),
+                        ("next_seq", next_seq.into()),
+                        ("records", records.into()),
+                    ],
+                ),
+                TxEvent::Failover { epoch, elected } => tb.instant(
+                    "failover",
+                    "anomaly",
+                    TX_PID,
+                    lane,
+                    ts,
+                    &[("epoch", epoch.into()), ("elected", elected.into())],
+                ),
                 TxEvent::ReadSet { .. } | TxEvent::WriteSet { .. } => {
                     tb.instant(
                         e.event.name(),

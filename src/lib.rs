@@ -22,6 +22,7 @@
 //! | [`sim`] | `rococo-sim` | virtual-time multicore simulator for speedup studies on small hosts |
 //! | [`server`] | `rococo-server` | TxKV: sharded transactional KV service with admission control, bounded retry, and latency/abort observability |
 //! | [`wal`] | `rococo-wal` | write-ahead log: group commit, checkpoints, torn-tail recovery, crash-point injection |
+//! | [`repl`] | `rococo-repl` | WAL-shipped replication: primary/follower clusters, watermark-gated follower reads, deterministic fail-over |
 //! | [`telemetry`] | `rococo-telemetry` | observability: metrics registry (Prometheus/JSON), transaction flight recorder, Perfetto trace export |
 //!
 //! # Quickstart
@@ -47,6 +48,7 @@
 pub use rococo_cc as cc;
 pub use rococo_core as core;
 pub use rococo_fpga as fpga;
+pub use rococo_repl as repl;
 pub use rococo_server as server;
 pub use rococo_sigs as sigs;
 pub use rococo_sim as sim;
