@@ -15,6 +15,10 @@
 #                      #   checked for convergence and read-your-writes)
 #   ./ci.sh --lint-json # + write the machine-readable lint report to
 #                      #   LINT_report.json (CI artifact)
+#   ./ci.sh --bench-smoke # + short closed-loop and open-loop txkv_load
+#                      #   runs with the emitted JSON rows schema-validated
+#                      #   (bench_check), including an overload run that
+#                      #   must shed
 #
 # The nightly job sets CHAOS_EXTENDED=1, which widens the stress tier to
 # the full seed sweep and the hostile commit-queue geometries, and
@@ -27,12 +31,14 @@ STRESS=0
 RECOVERY=0
 REPL=0
 LINT_JSON=0
+BENCH_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --stress) STRESS=1 ;;
     --recovery) RECOVERY=1 ;;
     --repl) REPL=1 ;;
     --lint-json) LINT_JSON=1 ;;
+    --bench-smoke) BENCH_SMOKE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -68,6 +74,28 @@ cargo run --release -q -p rococo-bench --bin txkv_load -- \
 cargo run --release -q -p rococo-bench --bin telemetry_check -- "$TLM_DIR"
 cp "$TLM_DIR/metrics.json" METRICS_snapshot.json
 echo "wrote METRICS_snapshot.json"
+
+if [[ "$BENCH_SMOKE" == "1" ]]; then
+  echo "== bench smoke (closed + open loop txkv_load, JSON rows schema-validated)"
+  BENCH_TMP="$TLM_DIR/bench-smoke"   # lives under TLM_DIR, cleaned by its trap
+  mkdir -p "$BENCH_TMP"
+  # Closed loop with a batch sweep: two rows (batch 1 vs 8) in one report.
+  cargo run --release -q -p rococo-bench --bin txkv_load -- \
+    --backend rococo --ops 30000 --shards 1 --workers 1 --clients 4 \
+    --keys 4096 --batch 1,8 --json "$BENCH_TMP/bench.json" \
+    --label "ci closed-loop smoke"
+  # Open loop offered well past a one-worker shard's capacity with a tiny
+  # queue: the run must shed, and bench_check asserts that it did.
+  cargo run --release -q -p rococo-bench --bin txkv_load -- \
+    --backend rococo --ops 30000 --shards 1 --workers 1 --clients 4 \
+    --keys 4096 --queue 8 --open-loop 40000 --batch 8 \
+    --json "$BENCH_TMP/bench.json" --append \
+    --label "ci open-loop overload smoke"
+  cargo run --release -q -p rococo-bench --bin bench_check -- \
+    "$BENCH_TMP/bench.json" --min-rows 3 --require-open-shed
+  # The committed report must stay schema-clean too.
+  cargo run --release -q -p rococo-bench --bin bench_check -- BENCH_txkv.json
+fi
 
 if [[ "$STRESS" == "1" || "${CHAOS_EXTENDED:-0}" == "1" ]]; then
   echo "== chaos stress tier (pinned seeds; CHAOS_EXTENDED=1 for the nightly sweep)"

@@ -1,0 +1,172 @@
+//! bench_check: schema validation for a `txkv_load` JSON report.
+//!
+//! Usage: `bench_check <FILE> [--min-rows N] [--require-open-shed]`
+//!
+//! Validates `BENCH_txkv.json` (or any report `txkv_load --json` wrote,
+//! possibly grown with `--append`): the document must be
+//! `{"bench":"txkv_load","rows":[...]}` and every row must be
+//! self-contained — full workload configuration (shards, workers, batch
+//! ceiling, mode, ...) plus the result columns (throughput, tail
+//! latency, abort rate). `--min-rows` asserts a lower bound on the row
+//! count; `--require-open-shed` asserts that at least one open-loop row
+//! shed requests, i.e. that an overload smoke actually overloaded.
+//!
+//! Exits 0 on success, 1 with a diagnostic on the first failure — the
+//! CI bench-smoke step runs this against short closed- and open-loop
+//! `txkv_load` runs.
+
+use rococo_telemetry::json::Json;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("bench_check: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+/// Field names every row must carry with a numeric value.
+const NUM_FIELDS: &[&str] = &[
+    "ops",
+    "shards",
+    "workers_per_shard",
+    "clients",
+    "keys",
+    "theta",
+    "read_pct",
+    "batch",
+    "elapsed_s",
+    "committed",
+    "throughput_rps",
+    "shed",
+    "failed",
+    "abort_rate",
+    "p50_ns",
+    "p99_ns",
+    "p999_ns",
+];
+
+fn check_row(i: usize, row: &Json) -> Result<(), String> {
+    let ctx = |field: &str| format!("row {i}: bad or missing \"{field}\"");
+    for f in ["label", "backend", "durability"] {
+        row.get(f).and_then(Json::as_str).ok_or_else(|| ctx(f))?;
+    }
+    for f in NUM_FIELDS {
+        let v = row.get(f).and_then(Json::as_f64).ok_or_else(|| ctx(f))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!(
+                "row {i}: \"{f}\" = {v} is not a finite non-negative"
+            ));
+        }
+    }
+    match row.get("flight_recorder") {
+        Some(Json::Bool(_)) => {}
+        _ => return Err(ctx("flight_recorder")),
+    }
+    let mode = row
+        .get("mode")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ctx("mode"))?;
+    match mode {
+        "closed" => {}
+        "open" => {
+            // Open-loop rows must say how fast they offered load;
+            // shed counts are meaningless without the arrival rate.
+            row.get("rate_per_client")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ctx("rate_per_client"))?;
+        }
+        other => return Err(format!("row {i}: unknown mode {other:?}")),
+    }
+    // The batch ceiling is at least one job per batch by construction.
+    if row.get("batch").and_then(Json::as_f64).unwrap_or(0.0) < 1.0 {
+        return Err(format!("row {i}: batch ceiling below 1"));
+    }
+    match row.get("wal") {
+        Some(Json::Null) => {}
+        Some(w @ Json::Obj(_)) => {
+            for f in ["acked_records", "batches", "fsyncs"] {
+                w.get(f)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("row {i}: wal object missing numeric \"{f}\""))?;
+            }
+        }
+        _ => return Err(ctx("wal")),
+    }
+    if let Some(r) = row.get("repl") {
+        for f in ["replicas", "lag_p50_seq", "lag_p99_seq", "failover_ms"] {
+            r.get(f)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("row {i}: repl object missing numeric \"{f}\""))?;
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut path: Option<PathBuf> = None;
+    let mut min_rows = 1usize;
+    let mut require_open_shed = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--min-rows" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    return fail("--min-rows needs a number");
+                };
+                min_rows = v;
+            }
+            "--require-open-shed" => require_open_shed = true,
+            "--help" | "-h" => {
+                println!("usage: bench_check <FILE> [--min-rows N] [--require-open-shed]");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() => path = Some(PathBuf::from(other)),
+            other => return fail(&format!("unexpected argument {other:?}")),
+        }
+    }
+    let Some(path) = path else {
+        return fail("missing report file argument");
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot read {}: {e}", path.display())),
+    };
+    let doc = match Json::parse(&src) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("{}: {e}", path.display())),
+    };
+    if doc.get("bench").and_then(Json::as_str) != Some("txkv_load") {
+        return fail("top-level \"bench\" is not \"txkv_load\"");
+    }
+    let rows = match doc.get("rows").and_then(Json::as_arr) {
+        Some(r) => r,
+        None => return fail("missing \"rows\" array"),
+    };
+    if rows.len() < min_rows {
+        return fail(&format!("{} rows, need at least {min_rows}", rows.len()));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        if let Err(e) = check_row(i, row) {
+            return fail(&e);
+        }
+    }
+    if require_open_shed {
+        let overloaded = rows.iter().any(|r| {
+            r.get("mode").and_then(Json::as_str) == Some("open")
+                && r.get("shed").and_then(Json::as_f64).unwrap_or(0.0) > 0.0
+        });
+        if !overloaded {
+            return fail("no open-loop row shed any request (overload smoke did not overload)");
+        }
+    }
+    println!(
+        "bench_check: OK ({} rows{})",
+        rows.len(),
+        if require_open_shed {
+            ", open-loop shedding observed"
+        } else {
+            ""
+        }
+    );
+    ExitCode::SUCCESS
+}

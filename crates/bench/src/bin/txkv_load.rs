@@ -4,21 +4,33 @@
 //!
 //! Closed-loop mode (default) runs `--clients` threads that each issue
 //! their share of `--ops` requests back-to-back, retrying shed requests;
-//! open-loop mode paces submissions at `--rate` requests/s per client and
-//! counts shed requests as lost, so queue-wait shows up in the latency
-//! tail instead of slowing the arrival process.
+//! open-loop mode (`--open-loop RATE`, or `--mode open --rate R`) paces
+//! submissions at the given requests/s per client and counts shed
+//! requests as lost, so queue-wait shows up in the latency tail instead
+//! of slowing the arrival process.
 //!
-//! Each run is also appended to a machine-readable JSON report
-//! (`BENCH_txkv.json` by default, one entry per backend × durability
-//! mode) so CI and notebooks can track throughput and tail latency
-//! without scraping the text output. `--durability` takes a
-//! comma-separated list of modes: `none` (in-memory, the default) and/or
-//! WAL fsync policies (`always`, `everyN`, `never`).
+//! Each run also lands in a machine-readable JSON report
+//! (`BENCH_txkv.json` by default): `{"bench":"txkv_load","rows":[...]}`
+//! with one self-contained row per backend × durability mode × batch
+//! ceiling, each row carrying its full configuration (shards, workers,
+//! batch, mode, ...) plus throughput, tail latency and abort figures, so
+//! CI and notebooks can track performance without scraping the text
+//! output. `--append` splices this invocation's rows into an existing
+//! report instead of overwriting it — that is how before/after rows from
+//! different configurations accumulate in one artifact — and `--label`
+//! tags the rows so a reader can tell which optimisation or experiment
+//! each row belongs to. `--durability` takes a comma-separated list of
+//! modes: `none` (in-memory, the default) and/or WAL fsync policies
+//! (`always`, `everyN`, `never`); `--batch` takes a comma-separated list
+//! of worker batch ceilings (`TxKvConfig::max_batch` values) — `--batch
+//! 1,16` yields a before/after pair for the run-to-completion batching
+//! optimisation.
 //!
 //! ```text
 //! cargo run -p rococo-bench --bin txkv_load            # tinystm + rococo, 1M ops each
 //! cargo run -p rococo-bench --bin txkv_load -- --quick # 100k ops for smoke runs
-//! cargo run -p rococo-bench --bin txkv_load -- --backend rococo --mode open --rate 50000
+//! cargo run -p rococo-bench --bin txkv_load -- --backend rococo --open-loop 50000
+//! cargo run -p rococo-bench --bin txkv_load -- --backend rococo --batch 1,16
 //! cargo run -p rococo-bench --bin txkv_load -- --durability none,always --read-pct 20
 //! ```
 
@@ -82,8 +94,18 @@ struct LoadCfg {
     mode: Mode,
     rate: u64,
     queue_capacity: usize,
+    /// Worker batch ceilings to sweep (`TxKvConfig::max_batch`), one run
+    /// per value — `--batch 1,16` produces a before/after pair for the
+    /// run-to-completion batching optimisation.
+    batch: Vec<usize>,
     durability: Vec<Durability>,
     json_path: String,
+    /// Free-text tag stamped on every JSON row of this invocation, e.g.
+    /// the optimisation a before/after pair measures.
+    label: String,
+    /// Splice this invocation's rows into an existing report instead of
+    /// overwriting it.
+    append: bool,
     /// Telemetry artifact directory: enables the flight recorder, the
     /// service's metric scraper, and the Perfetto trace export.
     telemetry: Option<String>,
@@ -110,8 +132,11 @@ impl Default for LoadCfg {
             mode: Mode::Closed,
             rate: 25_000,
             queue_capacity: 256,
+            batch: vec![TxKvConfig::default().max_batch],
             durability: vec![Durability::None],
             json_path: "BENCH_txkv.json".into(),
+            label: String::new(),
+            append: false,
             telemetry: None,
             compare_telemetry: false,
             replicas: 0,
@@ -145,6 +170,18 @@ fn parse_args() -> LoadCfg {
                     other => panic!("unknown mode {other} (open|closed)"),
                 }
             }
+            // Shorthand for `--mode open --rate R`.
+            "--open-loop" => {
+                cfg.mode = Mode::Open;
+                cfg.rate = value("--open-loop").parse().expect("--open-loop");
+            }
+            "--batch" => {
+                cfg.batch = value("--batch")
+                    .split(',')
+                    .map(|s| s.parse().expect("--batch"))
+                    .collect();
+                assert!(!cfg.batch.is_empty(), "--batch needs at least one value");
+            }
             "--durability" => {
                 cfg.durability = value("--durability")
                     .split(',')
@@ -155,6 +192,14 @@ fn parse_args() -> LoadCfg {
                     .collect();
             }
             "--json" => cfg.json_path = value("--json"),
+            "--label" => {
+                cfg.label = value("--label");
+                assert!(
+                    !cfg.label.contains(['"', '\\']),
+                    "--label must not contain quotes or backslashes (hand-rolled JSON)"
+                );
+            }
+            "--append" => cfg.append = true,
             "--telemetry" => cfg.telemetry = Some(value("--telemetry")),
             "--compare-telemetry" => cfg.compare_telemetry = true,
             "--replicas" => cfg.replicas = value("--replicas").parse().expect("--replicas"),
@@ -163,8 +208,10 @@ fn parse_args() -> LoadCfg {
                 println!(
                     "txkv_load [--backend tinystm|htm|rococo|both|all] [--ops N] \
                      [--shards N] [--workers N] [--clients N] [--keys N] [--theta F] \
-                     [--read-pct P] [--mode closed|open] [--rate R] [--queue N] \
+                     [--read-pct P] [--mode closed|open] [--rate R] [--open-loop R] \
+                     [--queue N] [--batch N,M,...] \
                      [--durability none,always,everyN,never] [--json PATH|none] \
+                     [--label TEXT] [--append] \
                      [--telemetry DIR] [--compare-telemetry] [--replicas N] [--quick]"
                 );
                 std::process::exit(0);
@@ -316,6 +363,8 @@ fn open_loop<S: TmSystem + 'static>(
 struct RunResult {
     backend: &'static str,
     durability: String,
+    /// The worker batch ceiling (`TxKvConfig::max_batch`) this run used.
+    batch: usize,
     elapsed_s: f64,
     committed: u64,
     throughput_rps: f64,
@@ -349,17 +398,43 @@ struct ReplRun {
 
 impl RunResult {
     /// Hand-rolled JSON (the workspace deliberately has no JSON crate).
-    /// Every value is numeric or a short ASCII name, so no escaping is
-    /// needed.
-    fn to_json(&self, out: &mut String) {
+    /// Every value is numeric or a short ASCII name (`--label` rejects
+    /// quotes and backslashes), so no escaping is needed.
+    ///
+    /// Each row is self-contained — it carries the full workload
+    /// configuration alongside the results — so rows measured under
+    /// different shard/worker/batch configurations can live side by side
+    /// in one appended report.
+    fn to_json(&self, cfg: &LoadCfg, out: &mut String) {
         let _ = write!(
             out,
-            "{{\"backend\":\"{}\",\"durability\":\"{}\",\"elapsed_s\":{:.3},\
+            "{{\"label\":\"{}\",\"ops\":{},\"shards\":{},\"workers_per_shard\":{},\
+             \"clients\":{},\"keys\":{},\"theta\":{},\"read_pct\":{},\"mode\":\"{}\"",
+            cfg.label,
+            cfg.ops,
+            cfg.shards,
+            cfg.workers_per_shard,
+            cfg.clients,
+            cfg.keys,
+            cfg.theta,
+            cfg.read_pct,
+            match cfg.mode {
+                Mode::Closed => "closed",
+                Mode::Open => "open",
+            },
+        );
+        if cfg.mode == Mode::Open {
+            let _ = write!(out, ",\"rate_per_client\":{}", cfg.rate);
+        }
+        let _ = write!(
+            out,
+            ",\"backend\":\"{}\",\"durability\":\"{}\",\"batch\":{},\"elapsed_s\":{:.3},\
              \"committed\":{},\"throughput_rps\":{:.1},\"shed\":{},\"failed\":{},\
              \"abort_rate\":{:.5},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\
              \"flight_recorder\":{}",
             self.backend,
             self.durability,
+            self.batch,
             self.elapsed_s,
             self.committed,
             self.throughput_rps,
@@ -403,6 +478,7 @@ fn run_backend<S: TmSystem + 'static>(
     system: Arc<S>,
     cfg: &LoadCfg,
     durability: Durability,
+    batch: usize,
     recorder_on: bool,
 ) -> RunResult {
     let wal_dir = match durability {
@@ -418,6 +494,7 @@ fn run_backend<S: TmSystem + 'static>(
         workers_per_shard: cfg.workers_per_shard,
         queue_capacity: cfg.queue_capacity,
         keys: cfg.keys,
+        max_batch: batch,
         durability: match (durability, &wal_dir) {
             (Durability::Wal(fsync), Some(dir)) => Some(DurabilityConfig {
                 dir: dir.clone(),
@@ -435,10 +512,12 @@ fn run_backend<S: TmSystem + 'static>(
     };
     let kv = TxKv::start(system, kv_cfg).expect("service start");
     banner(&format!(
-        "txkv_load on {} ({} shards x {} workers, {} {} clients, durability={}, recorder={})",
+        "txkv_load on {} ({} shards x {} workers, batch {}, {} {} clients, durability={}, \
+         recorder={})",
         kv.backend().name(),
         cfg.shards,
         cfg.workers_per_shard,
+        batch,
         cfg.clients,
         match cfg.mode {
             Mode::Closed => "closed-loop",
@@ -538,6 +617,7 @@ fn run_backend<S: TmSystem + 'static>(
     RunResult {
         backend: report.backend,
         durability: durability.name(),
+        batch,
         elapsed_s: wall.as_secs_f64(),
         committed: stats.committed,
         throughput_rps: stats.committed as f64 / wall.as_secs_f64().max(1e-9),
@@ -773,6 +853,7 @@ fn run_replicated<S: TmSystem + 'static>(
     RunResult {
         backend,
         durability: FsyncPolicy::Always.name(),
+        batch: TxKvConfig::default().max_batch,
         elapsed_s: wall.as_secs_f64(),
         committed,
         throughput_rps: ok as f64 / wall.as_secs_f64().max(1e-9),
@@ -802,36 +883,44 @@ fn write_json(cfg: &LoadCfg, results: &[RunResult]) {
     if cfg.json_path == "none" {
         return;
     }
-    let mut out = String::new();
-    let _ = write!(
-        out,
-        "{{\"bench\":\"txkv_load\",\"ops\":{},\"shards\":{},\"workers_per_shard\":{},\
-         \"clients\":{},\"keys\":{},\"theta\":{},\"read_pct\":{},\"mode\":\"{}\",\"runs\":[",
-        cfg.ops,
-        cfg.shards,
-        cfg.workers_per_shard,
-        cfg.clients,
-        cfg.keys,
-        cfg.theta,
-        cfg.read_pct,
-        match cfg.mode {
-            Mode::Closed => "closed",
-            Mode::Open => "open",
-        },
-    );
+    let mut rows = String::new();
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
-            out.push(',');
+            rows.push(',');
         }
-        r.to_json(&mut out);
+        r.to_json(cfg, &mut rows);
     }
-    out.push_str("]}\n");
+    // `--append` splices the new rows into an existing report so
+    // before/after rows from different configurations accumulate in one
+    // artifact. The report format is our own (written a few lines below),
+    // so string surgery on the trailing `]}` is safe; anything that does
+    // not look like a row-format report is rewritten from scratch.
+    let existing = if cfg.append {
+        std::fs::read_to_string(&cfg.json_path).ok()
+    } else {
+        None
+    };
+    let out = match existing.as_deref().map(str::trim_end) {
+        Some(prev) if prev.contains("\"rows\":[") && prev.ends_with("]}") => {
+            let head = &prev[..prev.len() - 2];
+            let sep = if head.ends_with('[') { "" } else { "," };
+            format!("{head}{sep}{rows}]}}\n")
+        }
+        Some(_) => {
+            eprintln!(
+                "{}: not a row-format report; rewriting instead of appending",
+                cfg.json_path
+            );
+            format!("{{\"bench\":\"txkv_load\",\"rows\":[{rows}]}}\n")
+        }
+        None => format!("{{\"bench\":\"txkv_load\",\"rows\":[{rows}]}}\n"),
+    };
     // Write-then-rename so a crash (or a concurrent reader polling the
     // artifact) never observes a truncated report.
     let tmp = format!("{}.tmp", cfg.json_path);
     let res = std::fs::write(&tmp, &out).and_then(|()| std::fs::rename(&tmp, &cfg.json_path));
     match res {
-        Ok(()) => println!("wrote {} ({} runs)", cfg.json_path, results.len()),
+        Ok(()) => println!("wrote {} ({} rows)", cfg.json_path, results.len()),
         Err(e) => {
             let _ = std::fs::remove_file(&tmp);
             eprintln!("could not write {}: {e}", cfg.json_path);
@@ -898,33 +987,39 @@ fn main() {
         &[false]
     };
     let mut results = Vec::new();
-    for &durability in &cfg.durability {
-        for &recorder_on in recorder_passes {
-            // A fresh backend per run: durable mode requires one, and it
-            // keeps in-memory runs comparable (no warmed-up metadata).
-            if run_tiny {
-                results.push(run_backend(
-                    Arc::new(TinyStm::with_config(tm_cfg)),
-                    &cfg,
-                    durability,
-                    recorder_on,
-                ));
-            }
-            if run_htm {
-                results.push(run_backend(
-                    Arc::new(TsxHtm::with_config(tm_cfg)),
-                    &cfg,
-                    durability,
-                    recorder_on,
-                ));
-            }
-            if run_rococo {
-                results.push(run_backend(
-                    Arc::new(RococoTm::with_config(tm_cfg)),
-                    &cfg,
-                    durability,
-                    recorder_on,
-                ));
+    for &batch in &cfg.batch {
+        for &durability in &cfg.durability {
+            for &recorder_on in recorder_passes {
+                // A fresh backend per run: durable mode requires one, and
+                // it keeps in-memory runs comparable (no warmed-up
+                // metadata).
+                if run_tiny {
+                    results.push(run_backend(
+                        Arc::new(TinyStm::with_config(tm_cfg)),
+                        &cfg,
+                        durability,
+                        batch,
+                        recorder_on,
+                    ));
+                }
+                if run_htm {
+                    results.push(run_backend(
+                        Arc::new(TsxHtm::with_config(tm_cfg)),
+                        &cfg,
+                        durability,
+                        batch,
+                        recorder_on,
+                    ));
+                }
+                if run_rococo {
+                    results.push(run_backend(
+                        Arc::new(RococoTm::with_config(tm_cfg)),
+                        &cfg,
+                        durability,
+                        batch,
+                        recorder_on,
+                    ));
+                }
             }
         }
     }

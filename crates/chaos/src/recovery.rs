@@ -150,6 +150,7 @@ fn service_config(
         queue_capacity: 64,
         keys: params.clients as u64 + params.bank_keys,
         retry: RetryPolicy::default(),
+        max_batch: TxKvConfig::default().max_batch,
         durability: Some(DurabilityConfig {
             dir,
             fsync: params.fsync,

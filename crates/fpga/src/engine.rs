@@ -1,7 +1,7 @@
 //! The functional model of the FPGA validation pipeline: Detector + Manager.
 
 use rococo_core::{RejectReason, RococoValidator, Seq, TxnDeps};
-use rococo_sigs::{Sig, SigScheme};
+use rococo_sigs::{PrehashedAddr, Sig, SigScheme};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the validation engine.
@@ -165,6 +165,10 @@ pub struct ValidationEngine {
     scheme: SigScheme,
     validator: RococoValidator<HistoryEntry>,
     stats: EngineStats,
+    // Per-request prehash scratch (kept across requests to avoid
+    // reallocating on the validator hot loop).
+    scratch_reads: Vec<PrehashedAddr>,
+    scratch_writes: Vec<PrehashedAddr>,
 }
 
 impl ValidationEngine {
@@ -178,6 +182,8 @@ impl ValidationEngine {
             scheme: config.scheme,
             validator: RococoValidator::new(config.window),
             stats: EngineStats::default(),
+            scratch_reads: Vec::new(),
+            scratch_writes: Vec::new(),
         }
     }
 
@@ -202,7 +208,18 @@ impl ValidationEngine {
     }
 
     /// Derives the dependency vectors for a request (the Detector stage).
-    fn detect(&self, req: &ValidateRequest) -> TxnDeps {
+    ///
+    /// `reads`/`writes` are the request's addresses prehashed once by the
+    /// caller: each address is probed against every window entry (`W = 64`),
+    /// and rehashing per (address, entry) pair would dominate the stage —
+    /// the hardware computes each address's signature positions once at the
+    /// pipeline's front, too.
+    fn detect(
+        &self,
+        req: &ValidateRequest,
+        reads: &[PrehashedAddr],
+        writes: &[PrehashedAddr],
+    ) -> TxnDeps {
         let mut deps = TxnDeps {
             snapshot: req.valid_ts,
             forward: Vec::new(),
@@ -214,10 +231,9 @@ impl ValidationEngine {
 
             // Read-set vs committed write-set: RAW if observed, forward
             // (the candidate read the overwritten version) otherwise.
-            let their_write_hits_my_read = req
-                .read_addrs
+            let their_write_hits_my_read = reads
                 .iter()
-                .any(|&a| self.scheme.query(&entry.write_sig, a));
+                .any(|a| self.scheme.query_prehashed(&entry.write_sig, a));
             if their_write_hits_my_read {
                 if observed {
                     deps.backward.push(seq);
@@ -228,15 +244,13 @@ impl ValidationEngine {
 
             // Write-set vs committed read-set (WAR) and write-set (WAW):
             // both order the committed transaction before the candidate.
-            let war = req
-                .write_addrs
+            let war = writes
                 .iter()
-                .any(|&a| self.scheme.query(&entry.read_sig, a));
+                .any(|a| self.scheme.query_prehashed(&entry.read_sig, a));
             let waw = !war
-                && req
-                    .write_addrs
+                && writes
                     .iter()
-                    .any(|&a| self.scheme.query(&entry.write_sig, a));
+                    .any(|a| self.scheme.query_prehashed(&entry.write_sig, a));
             if war || waw {
                 deps.backward.push(seq);
             }
@@ -253,7 +267,14 @@ impl ValidationEngine {
             return FpgaVerdict::AbortWindowOverflow;
         }
 
-        let deps = self.detect(req);
+        let scheme = &self.scheme;
+        self.scratch_reads.clear();
+        self.scratch_reads
+            .extend(req.read_addrs.iter().map(|&a| scheme.prehash(a)));
+        self.scratch_writes.clear();
+        self.scratch_writes
+            .extend(req.write_addrs.iter().map(|&a| scheme.prehash(a)));
+        let deps = self.detect(req, &self.scratch_reads, &self.scratch_writes);
         let entry = HistoryEntry {
             tx_id: req.tx_id,
             read_sig: self.scheme.sig_of(req.read_addrs.iter().copied()),

@@ -17,6 +17,7 @@
 use crate::engine::{EngineConfig, EngineStats, FpgaVerdict, ValidateRequest, ValidationEngine};
 use crate::fault::{FaultConfig, FaultRng, FaultSnapshot, FaultStats};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -35,6 +36,11 @@ pub struct ServiceHandle {
     tx: Sender<Msg>,
     in_flight: Arc<AtomicU64>,
     faults: Arc<FaultStats>,
+    /// Last successfully scraped engine snapshot, shared by every clone.
+    /// Refreshed on each [`ServiceHandle::stats`] round-trip and once more
+    /// with the final counters when the validator thread exits, so metrics
+    /// scrapes racing teardown still see the complete run.
+    last_stats: Arc<RwLock<EngineStats>>,
 }
 
 impl std::fmt::Debug for ServiceHandle {
@@ -107,15 +113,24 @@ impl ServiceHandle {
 
     /// Reads the engine's statistics (round-trips through the thread).
     ///
-    /// # Panics
-    ///
-    /// Panics if the validator thread has shut down.
-    pub fn stats(&self) -> EngineStats {
+    /// Returns `None` when the validator thread has shut down — a metrics
+    /// scrape racing service teardown must degrade, not panic, exactly like
+    /// every other path degrades to [`FpgaVerdict::ServiceStopped`]. Callers
+    /// that want a best-effort answer fall back to
+    /// [`ServiceHandle::last_stats`].
+    pub fn stats(&self) -> Option<EngineStats> {
         let (tx, rx) = bounded(1);
-        self.tx
-            .send(Msg::Snapshot(tx))
-            .expect("validation service stopped");
-        rx.recv().expect("validation service dropped stats reply")
+        self.tx.send(Msg::Snapshot(tx)).ok()?;
+        let stats = rx.recv().ok()?;
+        *self.last_stats.write() = stats;
+        Some(stats)
+    }
+
+    /// The last engine snapshot any clone of this handle observed (zeroed
+    /// counters if the engine was never scraped). Once the service has shut
+    /// down this holds the final end-of-run statistics.
+    pub fn last_stats(&self) -> EngineStats {
+        *self.last_stats.read()
     }
 }
 
@@ -209,6 +224,7 @@ impl ValidationService {
                 tx,
                 in_flight: Arc::new(AtomicU64::new(0)),
                 faults: fault_stats,
+                last_stats: Arc::new(RwLock::new(EngineStats::default())),
             },
             thread: Some(thread),
         }
@@ -222,11 +238,14 @@ impl ValidationService {
     /// Stops the thread and returns the final engine statistics.
     pub fn shutdown(mut self) -> EngineStats {
         let _ = self.handle.tx.send(Msg::Stop);
-        self.thread
+        let stats = self
+            .thread
             .take()
             .expect("shutdown called twice")
             .join()
-            .expect("validator thread panicked")
+            .expect("validator thread panicked");
+        *self.handle.last_stats.write() = stats;
+        stats
     }
 }
 
@@ -234,7 +253,9 @@ impl Drop for ValidationService {
     fn drop(&mut self) {
         if let Some(thread) = self.thread.take() {
             let _ = self.handle.tx.send(Msg::Stop);
-            let _ = thread.join();
+            if let Ok(stats) = thread.join() {
+                *self.handle.last_stats.write() = stats;
+            }
         }
     }
 }
@@ -423,7 +444,34 @@ mod tests {
         for p in pending {
             assert!(p.wait().is_commit());
         }
-        assert_eq!(h.stats().commits, 32);
+        assert_eq!(h.stats().expect("service is live").commits, 32);
+    }
+
+    #[test]
+    fn stats_after_shutdown_degrades_instead_of_panicking() {
+        // Regression: a metrics scrape racing service teardown used to
+        // panic in stats(); it must now degrade to None with the final
+        // counters available via last_stats().
+        let svc = ValidationService::spawn(EngineConfig::default());
+        let h = svc.handle();
+        assert!(h.validate(req(0, 0, &[1], &[2])).is_commit());
+        let live = h.stats().expect("live service answers stats");
+        assert_eq!(live.commits, 1);
+        let final_stats = svc.shutdown();
+        assert_eq!(h.stats(), None, "stopped service must not answer");
+        assert_eq!(
+            h.last_stats(),
+            final_stats,
+            "last-known snapshot must hold the end-of-run counters"
+        );
+        // Dropping (instead of shutdown) must also leave the final
+        // counters behind.
+        let svc = ValidationService::spawn(EngineConfig::default());
+        let h = svc.handle();
+        assert!(h.validate(req(0, 0, &[3], &[4])).is_commit());
+        drop(svc);
+        assert_eq!(h.stats(), None);
+        assert_eq!(h.last_stats().commits, 1);
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub const ATOMIC_CALLEES: &[&str] = &[
     "try_atomically_seq",
     "execute",
     "execute_seq",
+    "try_submit",
 ];
 
 /// One function item span (token index range of `name` + body braces).

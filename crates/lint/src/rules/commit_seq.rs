@@ -32,7 +32,7 @@ const MUTATORS: &[&str] = &[
 ];
 
 /// Functions that constitute the commit critical section.
-const ALLOWED_FNS: &[&str] = &["commit_seq"];
+const ALLOWED_FNS: &[&str] = &["commit_seq", "publish_commit"];
 
 /// See module docs.
 pub struct CommitSeqDiscipline;

@@ -136,6 +136,7 @@ impl ClusterConfig {
             queue_capacity: self.queue_capacity,
             keys: self.keys,
             retry: self.retry,
+            max_batch: TxKvConfig::default().max_batch,
             durability: Some(DurabilityConfig {
                 dir,
                 fsync: self.fsync,

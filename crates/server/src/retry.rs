@@ -140,9 +140,15 @@ impl RetryPolicy {
 
 /// Sleeps roughly `ns` nanoseconds: spin for sub-microsecond waits (a
 /// syscall would dominate), otherwise park the thread.
+///
+/// The spin is driven by an `Instant` deadline, not an iteration count:
+/// one `spin_loop` hint retires in well under a nanosecond, so spinning
+/// `ns` iterations used to sleep an order of magnitude shorter than the
+/// computed backoff and colliding workers re-collided almost immediately.
 fn sleep_ns(ns: u64) {
     if ns < 1_000 {
-        for _ in 0..ns {
+        let deadline = std::time::Instant::now() + Duration::from_nanos(ns);
+        while std::time::Instant::now() < deadline {
             std::hint::spin_loop();
         }
     } else {

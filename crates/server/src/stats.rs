@@ -27,6 +27,11 @@ pub struct ShardStats {
     /// Requests whose transaction panicked inside the backend (the
     /// worker caught it and kept serving).
     pub(crate) panics: AtomicU64,
+    /// Run-to-completion batches pulled off the shard queue.
+    pub(crate) batches: AtomicU64,
+    /// Jobs across all batches (`batch_jobs / batches` = mean batch size
+    /// actually achieved, as opposed to the configured ceiling).
+    pub(crate) batch_jobs: AtomicU64,
     /// Aborts by cause, indexed by [`AbortKind::index`].
     pub(crate) aborts: [AtomicU64; AbortKind::COUNT],
     /// Request latency from enqueue to reply (includes queue wait).
@@ -68,6 +73,8 @@ impl ShardStats {
             retries: self.retries.load(Ordering::Relaxed),
             durability_lost: self.durability_lost.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_jobs: self.batch_jobs.load(Ordering::Relaxed),
             aborts,
             latency: self.latency.snapshot(),
         }
@@ -93,6 +100,10 @@ pub struct ShardSnapshot {
     pub durability_lost: u64,
     /// Requests whose transaction panicked inside the backend.
     pub panics: u64,
+    /// Run-to-completion batches pulled off the shard queue.
+    pub batches: u64,
+    /// Jobs across all batches.
+    pub batch_jobs: u64,
     /// Aborts by cause, indexed by [`AbortKind::index`].
     pub aborts: [u64; AbortKind::COUNT],
     /// Request latency from enqueue to reply.
@@ -164,6 +175,18 @@ impl ShardSnapshot {
             labels,
             self.panics,
         );
+        reg.counter(
+            "rococo_txkv_batches_total",
+            "Run-to-completion batches pulled off the shard queue",
+            labels,
+            self.batches,
+        );
+        reg.counter(
+            "rococo_txkv_batch_jobs_total",
+            "Jobs executed across all batches",
+            labels,
+            self.batch_jobs,
+        );
         for kind in AbortKind::ALL {
             let mut kv: Vec<(&str, &str)> = labels.to_vec();
             kv.push(("kind", kind.as_label()));
@@ -199,6 +222,8 @@ impl ShardSnapshot {
         self.retries += other.retries;
         self.durability_lost += other.durability_lost;
         self.panics += other.panics;
+        self.batches += other.batches;
+        self.batch_jobs += other.batch_jobs;
         for (dst, src) in self.aborts.iter_mut().zip(other.aborts.iter()) {
             *dst += src;
         }

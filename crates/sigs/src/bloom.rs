@@ -161,33 +161,91 @@ impl SigScheme {
     /// exact; a `true` answer is a false set-overlap with the probability
     /// modelled by [`crate::fp_model::intersection_fp`].
     ///
+    /// Word-parallel: partitions are a power of two bits wide, so they either
+    /// span whole 64-bit words (`part_bits >= 64`) or pack evenly into one
+    /// word without straddling (`part_bits < 64`). Either way each partition's
+    /// AND-is-zero test is a handful of word operations with no per-bit
+    /// iteration — the software shadow of the FPGA's flat AND/OR reduction
+    /// tree over the 512-bit signature bundle.
+    ///
     /// # Panics
     ///
     /// Panics if either signature does not match this scheme's geometry.
     pub fn sets_may_intersect(&self, a: &Sig, b: &Sig) -> bool {
         assert_eq!(a.words.len(), self.words, "signature geometry mismatch");
         assert_eq!(b.words.len(), self.words, "signature geometry mismatch");
-        (0..self.k).all(|p| {
-            let lo = p * self.part_bits;
-            let hi = lo + self.part_bits;
-            let mut bit = lo;
-            while bit < hi {
-                let word = bit / 64;
-                let offset = bit % 64;
-                let span = (64 - offset).min(hi - bit);
-                let mask = if span == 64 {
-                    u64::MAX
-                } else {
-                    ((1u64 << span) - 1) << offset
-                };
-                if a.words[word] & b.words[word] & mask != 0 {
-                    return true; // this partition overlaps; check the next
+        let aw = &a.words;
+        let bw = &b.words;
+        if self.part_bits >= 64 {
+            // Whole words per partition: OR-accumulate the per-word ANDs and
+            // fail fast on the first all-zero partition.
+            let mut w = 0;
+            while w < self.words {
+                let part_end = w + self.part_bits / 64;
+                let mut acc = 0u64;
+                while w < part_end {
+                    acc |= aw[w] & bw[w];
+                    w += 1;
                 }
-                bit += span;
+                if acc == 0 {
+                    return false;
+                }
             }
-            false
-        })
+            true
+        } else {
+            // Sub-word partitions (power of two < 64) never straddle a word:
+            // one masked AND decides each partition.
+            let per_word = 64 / self.part_bits;
+            let part_mask = (1u64 << self.part_bits) - 1;
+            let mut p = 0;
+            while p < self.k {
+                let word = p / per_word;
+                let shift = (p % per_word) * self.part_bits;
+                if aw[word] & bw[word] & (part_mask << shift) == 0 {
+                    return false;
+                }
+                p += 1;
+            }
+            true
+        }
     }
+
+    /// Precomputes the signature positions of `addr` so repeated membership
+    /// queries ([`SigScheme::query_prehashed`]) skip the hash family entirely.
+    ///
+    /// The validator probes each request address against every write
+    /// signature in its history window; hashing once per address instead of
+    /// once per (address, window entry) pair removes the dominant cost.
+    #[inline]
+    pub fn prehash(&self, addr: u64) -> PrehashedAddr {
+        let (pos, n) = self.positions(addr);
+        PrehashedAddr { pos, n }
+    }
+
+    /// [`SigScheme::query`] against positions computed by
+    /// [`SigScheme::prehash`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig` does not match this scheme's geometry.
+    #[inline]
+    pub fn query_prehashed(&self, sig: &Sig, pre: &PrehashedAddr) -> bool {
+        assert_eq!(sig.words.len(), self.words, "signature geometry mismatch");
+        pre.pos[..pre.n]
+            .iter()
+            .all(|&(w, mask)| sig.words[w as usize] & mask != 0)
+    }
+}
+
+/// The `k` (word index, bit mask) positions an address maps to under one
+/// [`SigScheme`], precomputed via [`SigScheme::prehash`].
+///
+/// Only meaningful with the scheme that produced it — querying through a
+/// different scheme of the same word count silently tests the wrong bits.
+#[derive(Debug, Clone, Copy)]
+pub struct PrehashedAddr {
+    pos: [(u32, u64); MAX_K],
+    n: usize,
 }
 
 /// A bloom-filter signature: a fixed-width bit vector.
@@ -388,5 +446,72 @@ mod tests {
         let s = SigScheme::paper_default();
         let mut wrong = Sig::zeroed(4);
         s.insert(&mut wrong, 1);
+    }
+
+    /// Reference implementation of the partition rule: per-bit scan, no word
+    /// tricks. The word-parallel fast paths must agree with this exactly.
+    fn intersect_reference(s: &SigScheme, a: &Sig, b: &Sig) -> bool {
+        (0..s.k).all(|p| {
+            (p * s.part_bits..(p + 1) * s.part_bits)
+                .any(|bit| a.words[bit / 64] & b.words[bit / 64] & (1u64 << (bit % 64)) != 0)
+        })
+    }
+
+    #[test]
+    fn word_parallel_intersection_matches_reference() {
+        // Geometries covering every fast path: part_bits = 64 (paper
+        // default), multi-word partitions (128), and sub-word partitions
+        // (32 and 16).
+        for (m, k) in [(512, 8), (1024, 8), (512, 16), (256, 16), (256, 4)] {
+            let s = SigScheme::new(m, k);
+            let mut seed = 0x1234_5678_9abc_def0u64 ^ (m as u64) << 16 ^ k as u64;
+            let mut next = || {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                seed
+            };
+            for trial in 0..200 {
+                // Vary set sizes so some trials saturate partitions and some
+                // leave them empty.
+                let na = (trial % 17) as usize;
+                let nb = (trial % 5) as usize;
+                let a = s.sig_of((0..na).map(|_| next()));
+                let b = s.sig_of((0..nb).map(|_| next()));
+                assert_eq!(
+                    s.sets_may_intersect(&a, &b),
+                    intersect_reference(&s, &a, &b),
+                    "m={m} k={k} trial={trial}"
+                );
+                // Shared-element case: must always report possible overlap.
+                if na > 0 {
+                    let shared = next();
+                    let mut a2 = a.clone();
+                    let mut b2 = b.clone();
+                    s.insert(&mut a2, shared);
+                    s.insert(&mut b2, shared);
+                    assert!(s.sets_may_intersect(&a2, &b2));
+                }
+            }
+            // Empty signatures never intersect anything.
+            let empty = s.new_sig();
+            assert!(!s.sets_may_intersect(&empty, &empty));
+        }
+    }
+
+    #[test]
+    fn prehashed_query_matches_query() {
+        for (m, k) in [(512, 8), (512, 16), (1024, 8)] {
+            let s = SigScheme::new(m, k);
+            let sig = s.sig_of((0..40u64).map(|i| i * 131 + 7));
+            for a in 0..600u64 {
+                let pre = s.prehash(a);
+                assert_eq!(
+                    s.query(&sig, a),
+                    s.query_prehashed(&sig, &pre),
+                    "m={m} k={k} addr={a}"
+                );
+            }
+        }
     }
 }

@@ -65,23 +65,29 @@ impl ChunkedSig {
     }
 
     /// Records `addr` in the whole-set signature and the current chunk.
+    ///
+    /// Chunk signatures retained by a previous [`ChunkedSig::clear`] are
+    /// reused in place, so a recycled summary inserts without allocating
+    /// until it outgrows its previous high-water mark.
     pub fn insert(&mut self, scheme: &SigScheme, addr: u64) {
         scheme.insert(&mut self.whole, addr);
-        if self.addrs.len().is_multiple_of(Self::CHUNK) {
+        let idx = self.addrs.len() / Self::CHUNK;
+        if idx == self.chunks.len() {
             self.chunks.push(scheme.new_sig());
         }
-        let chunk = self
-            .chunks
-            .last_mut()
-            .expect("chunk pushed when starting a new group");
-        scheme.insert(chunk, addr);
+        scheme.insert(&mut self.chunks[idx], addr);
         self.addrs.push(addr);
     }
 
-    /// Clears the summary for reuse.
+    /// Clears the summary for reuse, zeroing chunk signatures in place
+    /// rather than freeing them: read-set summaries are recycled on every
+    /// transaction, and keeping the chunk allocations makes the steady
+    /// state allocation-free.
     pub fn clear(&mut self) {
         self.whole.clear();
-        self.chunks.clear();
+        for chunk in &mut self.chunks {
+            chunk.clear();
+        }
         self.addrs.clear();
     }
 
@@ -96,7 +102,10 @@ impl ChunkedSig {
         if other.is_empty() || !scheme.sets_may_intersect(&self.whole, other) {
             return false;
         }
-        for (ci, chunk) in self.chunks.iter().enumerate() {
+        // Only the chunks actually covering recorded addresses are live;
+        // trailing chunks retained by `clear` are zeroed and skipped.
+        let live = self.addrs.len().div_ceil(Self::CHUNK);
+        for (ci, chunk) in self.chunks[..live].iter().enumerate() {
             if !scheme.sets_may_intersect(chunk, other) {
                 continue;
             }
@@ -190,7 +199,29 @@ mod tests {
         assert_eq!(rs.chunks.len(), 3); // ceil(17 / 8)
         rs.clear();
         assert!(rs.is_empty());
-        assert_eq!(rs.chunks.len(), 0);
+        // Chunk allocations are retained (zeroed) for reuse.
+        assert_eq!(rs.chunks.len(), 3);
+        assert!(rs.chunks.iter().all(Sig::is_empty));
+    }
+
+    #[test]
+    fn reuse_after_clear_behaves_like_fresh() {
+        let s = scheme();
+        let mut rs = ChunkedSig::new(&s);
+        for a in 0..20u64 {
+            rs.insert(&s, a * 31);
+        }
+        rs.clear();
+        // A recycled summary must not remember cleared addresses...
+        let old = s.sig_of([5 * 31]);
+        assert!(!rs.conflicts_with(&s, &old));
+        // ...and must detect conflicts on its new contents.
+        for a in [7u64, 1000, 2000] {
+            rs.insert(&s, a);
+        }
+        assert!(rs.conflicts_with(&s, &s.sig_of([1000u64])));
+        assert!(!rs.conflicts_with(&s, &s.sig_of([31u64 * 3])));
+        assert_eq!(rs.addrs(), &[7, 1000, 2000]);
     }
 
     #[test]

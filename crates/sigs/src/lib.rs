@@ -41,6 +41,6 @@ mod chunked;
 pub mod fp_model;
 mod hash;
 
-pub use bloom::{Sig, SigScheme};
+pub use bloom::{PrehashedAddr, Sig, SigScheme};
 pub use chunked::ChunkedSig;
 pub use hash::{splitmix64, MultiplyShift};

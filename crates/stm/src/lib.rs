@@ -46,12 +46,13 @@ mod seq;
 mod tinystm;
 
 pub use api::{
-    atomically, try_atomically, try_atomically_seq, Abort, AbortKind, StatsSnapshot, TmConfig,
-    TmStats, TmSystem, Transaction,
+    atomically, commit_deferred, finish_submitted, try_atomically, try_atomically_seq, try_submit,
+    Abort, AbortKind, PendingCommit, ReadyCommit, StatsSnapshot, Submitted, TmConfig, TmStats,
+    TmSystem, Transaction,
 };
 pub use heap::{Addr, TmHeap, Word, NULL};
 pub use htm::{HtmConfig, TsxHtm};
 pub use record::{recording_seq, RecordTx, Recorder, TxnRecord};
-pub use rococotm::{RococoConfig, RococoTm};
+pub use rococotm::{RococoConfig, RococoPending, RococoTm};
 pub use seq::{GlobalLockTm, SeqTm};
 pub use tinystm::TinyStm;

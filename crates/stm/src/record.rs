@@ -9,7 +9,7 @@
 //! which the STAMP harness calls at parallel-phase boundaries — so that
 //! sequential setup work can be separated from the timed parallel region.
 
-use crate::api::{Abort, TmConfig, TmStats, TmSystem, Transaction};
+use crate::api::{Abort, PendingCommit, TmConfig, TmStats, TmSystem, Transaction};
 use crate::heap::{Addr, TmHeap, Word};
 use crate::seq::SeqTm;
 use parking_lot::Mutex;
@@ -122,6 +122,56 @@ impl<'a, S: TmSystem> Transaction for RecordTx<'a, S> {
             reads: self.reads,
             writes: self.writes,
             exec_ns,
+            epoch: self.epoch.load(Ordering::Relaxed),
+        });
+        Ok(seq)
+    }
+
+    type Pending = RecordPending<'a, S>;
+
+    fn submit_commit(self) -> Result<RecordPending<'a, S>, Self> {
+        // Execution time stops at submission: the verdict wait is commit
+        // overhead, not workload execution.
+        let exec_ns = self.started.elapsed().as_nanos() as f64;
+        match self.inner.submit_commit() {
+            Ok(inner) => Ok(RecordPending {
+                inner,
+                log: self.log,
+                epoch: self.epoch,
+                reads: self.reads,
+                writes: self.writes,
+                exec_ns,
+            }),
+            Err(inner) => Err(Self {
+                inner,
+                log: self.log,
+                epoch: self.epoch,
+                reads: self.reads,
+                writes: self.writes,
+                started: self.started,
+            }),
+        }
+    }
+}
+
+/// An in-flight [`RecordTx`] commit: logs the footprint once the inner
+/// commit is confirmed.
+pub struct RecordPending<'a, S: TmSystem + 'a> {
+    inner: <S::Tx<'a> as Transaction>::Pending,
+    log: &'a Mutex<Vec<TxnRecord>>,
+    epoch: &'a AtomicU64,
+    reads: Vec<u64>,
+    writes: Vec<u64>,
+    exec_ns: f64,
+}
+
+impl<'a, S: TmSystem> PendingCommit for RecordPending<'a, S> {
+    fn finish(self) -> Result<Option<u64>, Abort> {
+        let seq = self.inner.finish()?;
+        self.log.lock().push(TxnRecord {
+            reads: self.reads,
+            writes: self.writes,
+            exec_ns: self.exec_ns,
             epoch: self.epoch.load(Ordering::Relaxed),
         });
         Ok(seq)

@@ -21,16 +21,16 @@
 //!   back its redo log, publishes the commit-queue signature and bumps
 //!   `GlobalTS`. Read-only transactions commit directly on the CPU.
 
-use crate::api::{Abort, AbortKind, TmConfig, TmStats, TmSystem, Transaction};
+use crate::api::{Abort, AbortKind, PendingCommit, TmConfig, TmStats, TmSystem, Transaction};
 use crate::heap::{Addr, TmHeap, Word};
-use parking_lot::{RwLock, RwLockWriteGuard};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use rococo_fpga::{
-    EngineConfig, EngineStats, FaultConfig, FaultSnapshot, FpgaVerdict, ServiceHandle, TimingModel,
-    ValidateRequest, ValidationService,
+    EngineConfig, EngineStats, FaultConfig, FaultSnapshot, FpgaVerdict, PendingVerdict,
+    ServiceHandle, TimingModel, ValidateRequest, ValidationService,
 };
-use rococo_sigs::{ChunkedSig, Sig, SigScheme};
+use rococo_sigs::{ChunkedSig, PrehashedAddr, Sig, SigScheme};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// ROCoCoTM-specific configuration.
@@ -86,6 +86,27 @@ struct UpdateSlot {
     sig: RwLock<Option<Sig>>,
 }
 
+/// Recycled per-transaction buffers, pooled per thread so `begin` is
+/// allocation-free in the steady state. At a few hundred thousand
+/// transactions per second the handful of small vector allocations each
+/// `begin` would otherwise perform (read-set summary, write/miss
+/// signatures, write-address list, redo map) is measurable on the commit
+/// hot path, and all of them are trivially reusable: each is cleared when
+/// it is handed back.
+///
+/// The pool is per thread (the same index space as the update slots), so
+/// the mutex is effectively uncontended — only the owning thread takes
+/// from it, and the only cross-thread traffic is a pending commit handle
+/// finishing on another thread, which cannot happen under the worker
+/// model (`finish` runs on the submitting worker).
+#[derive(Debug, Default)]
+struct Scratch {
+    read_sets: Vec<ChunkedSig>,
+    sigs: Vec<Sig>,
+    addr_lists: Vec<Vec<Addr>>,
+    redos: Vec<HashMap<Addr, Word>>,
+}
+
 /// The ROCoCoTM runtime.
 #[derive(Debug)]
 pub struct RococoTm {
@@ -99,15 +120,19 @@ pub struct RococoTm {
     /// Ring buffer of committed write-set signatures, indexed by
     /// `seq % queue_len`. Slot contents are valid for `seq < global_ts`.
     commit_queue: Vec<RwLock<Sig>>,
-    /// Per-thread update-set slots plus a fast-path occupancy counter.
+    /// Per-thread update-set slots plus a fast-path occupancy bitmap
+    /// (bit `t` of word `t / 64` set while thread `t`'s slot is
+    /// published), so the read path only locks slots that are in use.
     update_slots: Vec<UpdateSlot>,
-    active_updates: AtomicUsize,
+    update_occupancy: Vec<AtomicU64>,
     /// Commit gate: committers hold it shared; an irrevocable transaction
     /// holds it exclusively for its whole lifetime, freezing `GlobalTS` so
     /// nothing can invalidate its snapshot.
     commit_gate: RwLock<()>,
     /// Consecutive aborts per thread (irrevocability escalation).
     consecutive_aborts: Vec<std::sync::atomic::AtomicU32>,
+    /// Per-thread recycled transaction buffers (see [`Scratch`]).
+    scratch: Vec<Mutex<Scratch>>,
     /// The simulated FPGA; kept alive for the runtime's lifetime (dropping
     /// it stops the validator thread).
     _service: ValidationService,
@@ -155,10 +180,15 @@ impl RococoTm {
                     sig: RwLock::new(None),
                 })
                 .collect(),
-            active_updates: AtomicUsize::new(0),
+            update_occupancy: (0..config.tm.max_threads.div_ceil(64))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             commit_gate: RwLock::new(()),
             consecutive_aborts: (0..config.tm.max_threads)
                 .map(|_| std::sync::atomic::AtomicU32::new(0))
+                .collect(),
+            scratch: (0..config.tm.max_threads)
+                .map(|_| Mutex::new(Scratch::default()))
                 .collect(),
             _service: service,
             handle,
@@ -172,9 +202,13 @@ impl RococoTm {
     }
 
     /// Statistics of the FPGA-side engine (requests, commits, cycle and
-    /// window aborts — the dotted series of Figure 10).
+    /// window aborts — the dotted series of Figure 10). Falls back to the
+    /// last snapshot once the validator thread has shut down, so metrics
+    /// scrapes racing teardown degrade instead of panicking.
     pub fn fpga_stats(&self) -> EngineStats {
-        self.handle.stats()
+        self.handle
+            .stats()
+            .unwrap_or_else(|| self.handle.last_stats())
     }
 
     /// A cloneable handle onto the shared validation engine. Service
@@ -184,18 +218,157 @@ impl RococoTm {
         self.handle.clone()
     }
 
+    /// Takes one set of transaction buffers from `thread`'s scratch pool,
+    /// allocating fresh ones only when the pool runs dry (cold start, or
+    /// buffers lost to an abort path — see [`RococoTm::recycle`]).
+    ///
+    /// Returns `(read_set, write_sig, miss_set, write_addrs, redo)`.
+    #[allow(clippy::type_complexity)]
+    fn take_scratch(
+        &self,
+        thread: usize,
+    ) -> (ChunkedSig, Sig, Sig, Vec<Addr>, HashMap<Addr, Word>) {
+        let mut pool = self.scratch[thread].lock();
+        (
+            pool.read_sets
+                .pop()
+                .unwrap_or_else(|| ChunkedSig::new(&self.scheme)),
+            pool.sigs.pop().unwrap_or_else(|| self.scheme.new_sig()),
+            pool.sigs.pop().unwrap_or_else(|| self.scheme.new_sig()),
+            pool.addr_lists.pop().unwrap_or_default(),
+            pool.redos.pop().unwrap_or_default(),
+        )
+    }
+
+    /// Returns transaction buffers to `thread`'s scratch pool, clearing
+    /// each piece as it is shelved so `take_scratch` can hand them out
+    /// as-is. Any piece may be `None`: the submit path recycles the
+    /// read-side buffers at submission while the write signature and redo
+    /// log travel with the pending handle and come back at `finish`.
+    ///
+    /// Buffers owned by a transaction that aborts mid-execution (the
+    /// `tm_read` conflict paths) are simply dropped with it — aborts are
+    /// the rare path, and recovering them would require a `Drop` impl that
+    /// conflicts with the commit paths moving fields out of the
+    /// transaction.
+    fn recycle(
+        &self,
+        thread: usize,
+        read_set: Option<ChunkedSig>,
+        sigs: [Option<Sig>; 2],
+        addrs: Option<Vec<Addr>>,
+        redo: Option<HashMap<Addr, Word>>,
+    ) {
+        let mut pool = self.scratch[thread].lock();
+        if let Some(mut rs) = read_set {
+            rs.clear();
+            pool.read_sets.push(rs);
+        }
+        for mut sig in sigs.into_iter().flatten() {
+            sig.clear();
+            pool.sigs.push(sig);
+        }
+        if let Some(mut a) = addrs {
+            a.clear();
+            pool.addr_lists.push(a);
+        }
+        if let Some(mut m) = redo {
+            m.clear();
+            pool.redos.push(m);
+        }
+    }
+
+    /// Marks thread `t`'s update slot occupied in the fast-path bitmap.
+    fn mark_update_slot(&self, t: usize) {
+        self.update_occupancy[t / 64].fetch_or(1 << (t % 64), Ordering::SeqCst);
+    }
+
+    /// Clears thread `t`'s update-slot occupancy bit.
+    fn clear_update_slot(&self, t: usize) {
+        self.update_occupancy[t / 64].fetch_and(!(1 << (t % 64)), Ordering::SeqCst);
+    }
+
     /// Whether `addr` is currently claimed by a committing transaction's
     /// update-set entry (commit-time locking, Algorithm 1 line 5).
+    ///
+    /// The occupancy bitmap keeps the common zero-committer case to a
+    /// handful of atomic loads — the old implementation read-locked every
+    /// slot whenever *any* committer was active, serialising every
+    /// transactional read behind unrelated commits. The bitmap is a hint
+    /// with the same race window the old occupancy counter had: a
+    /// committer that publishes between our load and the heap read is
+    /// caught by the commit-queue drain and the re-check in `tm_read`.
     fn update_set_hits(&self, addr: Addr) -> bool {
-        if self.active_updates.load(Ordering::SeqCst) == 0 {
-            return false;
+        let mut pre: Option<PrehashedAddr> = None;
+        for (wi, word) in self.update_occupancy.iter().enumerate() {
+            let mut bits = word.load(Ordering::SeqCst);
+            if bits == 0 {
+                continue;
+            }
+            let pre = *pre.get_or_insert_with(|| self.scheme.prehash(addr as u64));
+            while bits != 0 {
+                let t = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let hit = self.update_slots[t]
+                    .sig
+                    .read()
+                    .as_ref()
+                    .is_some_and(|sig| self.scheme.query_prehashed(sig, &pre));
+                if hit {
+                    return true;
+                }
+            }
         }
-        self.update_slots.iter().any(|slot| {
-            slot.sig
-                .read()
-                .as_ref()
-                .is_some_and(|sig| self.scheme.query(sig, addr as u64))
-        })
+        false
+    }
+
+    /// Publishes a validated commit at its FPGA-granted sequence: waits
+    /// for the turn (`GlobalTS == seq`), installs the update-set entry,
+    /// writes back the redo log, publishes the commit-queue signature and
+    /// bumps `GlobalTS`. Shared by the synchronous commit path and
+    /// [`RococoPending::finish`].
+    ///
+    /// Every sequence before `seq` was granted to some committer that
+    /// will publish it; write-backs are thereby ordered, which subsumes
+    /// the paper's write-write commit ordering. Spin briefly, then yield:
+    /// the committer we are waiting on may not be running (oversubscribed
+    /// or single-core hosts), and a full timeslice of spinning would
+    /// stall the whole commit chain.
+    fn publish_commit(&self, thread: usize, seq: u64, write_sig: &Sig, redo: &HashMap<Addr, Word>) {
+        let mut spins = 0u32;
+        while self.global_ts.load(Ordering::SeqCst) != seq {
+            spins += 1;
+            if spins > 128 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+
+        // Publish the update-set entry (commit-time locking), write back,
+        // publish the commit-queue signature, bump GlobalTS, release.
+        {
+            let mut slot = self.update_slots[thread].sig.write();
+            *slot = Some(write_sig.clone());
+        }
+        self.mark_update_slot(thread);
+
+        for (&addr, &val) in redo {
+            self.heap.store_direct(addr, val);
+        }
+
+        {
+            let mut qslot =
+                self.commit_queue[(seq % self.config.queue_len as u64) as usize].write();
+            qslot.clone_from(write_sig);
+        }
+        self.global_ts.store(seq + 1, Ordering::SeqCst);
+
+        {
+            let mut slot = self.update_slots[thread].sig.write();
+            *slot = None;
+        }
+        self.clear_update_slot(thread);
     }
 }
 
@@ -356,7 +529,7 @@ impl RococoTx<'_> {
     }
 }
 
-impl Transaction for RococoTx<'_> {
+impl<'a> Transaction for RococoTx<'a> {
     fn read(&mut self, addr: Addr) -> Result<Word, Abort> {
         self.tm_read(addr)
     }
@@ -384,6 +557,13 @@ impl Transaction for RococoTx<'_> {
         if self.write_addrs.is_empty() {
             tm.stats.read_only_commits.fetch_add(1, Ordering::Relaxed);
             tm.consecutive_aborts[self.thread].store(0, Ordering::Relaxed);
+            tm.recycle(
+                self.thread,
+                Some(self.read_set),
+                [Some(self.write_sig), Some(self.miss_set)],
+                Some(self.write_addrs),
+                Some(self.redo),
+            );
             return Ok(None);
         }
 
@@ -432,64 +612,251 @@ impl Transaction for RococoTx<'_> {
 
         let seq = match verdict {
             FpgaVerdict::Commit { seq } => seq,
-            FpgaVerdict::AbortCycle => {
-                return Err(self.count_abort(AbortKind::FpgaCycle));
-            }
-            FpgaVerdict::AbortWindowOverflow => {
-                return Err(self.count_abort(AbortKind::FpgaWindow));
-            }
-            FpgaVerdict::ServiceStopped => {
-                return Err(self.count_abort(AbortKind::ServiceStopped));
+            refused => {
+                let kind = match refused {
+                    FpgaVerdict::AbortCycle => AbortKind::FpgaCycle,
+                    FpgaVerdict::AbortWindowOverflow => AbortKind::FpgaWindow,
+                    _ => AbortKind::ServiceStopped,
+                };
+                let abort = self.count_abort(kind);
+                // A verdict-time abort retries immediately; hand the
+                // buffers straight back so the retry's `begin` stays
+                // allocation-free.
+                tm.recycle(
+                    self.thread,
+                    Some(self.read_set),
+                    [Some(self.write_sig), Some(self.miss_set)],
+                    Some(self.write_addrs),
+                    Some(self.redo),
+                );
+                return Err(abort);
             }
         };
 
-        // Wait for our turn in commit order. Every sequence before ours was
-        // granted to some committer that will publish it; write-backs are
-        // thereby ordered, which subsumes the paper's write-write commit
-        // ordering. Spin briefly, then yield: the committer we are waiting
-        // on may not be running (oversubscribed or single-core hosts), and
-        // a full timeslice of spinning would stall the whole commit chain.
-        let mut spins = 0u32;
-        while tm.global_ts.load(Ordering::SeqCst) != seq {
-            spins += 1;
-            if spins > 128 {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
-            }
-        }
+        tm.publish_commit(self.thread, seq, &self.write_sig, &self.redo);
 
-        // Publish the update-set entry (commit-time locking), write back,
-        // publish the commit-queue signature, bump GlobalTS, release.
-        {
-            let mut slot = tm.update_slots[self.thread].sig.write();
-            *slot = Some(self.write_sig.clone());
-        }
-        tm.active_updates.fetch_add(1, Ordering::SeqCst);
-
-        for (&addr, &val) in &self.redo {
-            tm.heap.store_direct(addr, val);
-        }
-
-        {
-            let mut qslot = tm.commit_queue[(seq % tm.config.queue_len as u64) as usize].write();
-            *qslot = self.write_sig.clone();
-        }
-        tm.global_ts.store(seq + 1, Ordering::SeqCst);
-
-        {
-            let mut slot = tm.update_slots[self.thread].sig.write();
-            *slot = None;
-        }
-        tm.active_updates.fetch_sub(1, Ordering::SeqCst);
         if self.irrevocable.is_some() {
             tm.stats.fallback_commits.fetch_add(1, Ordering::Relaxed);
         }
         tm.consecutive_aborts[self.thread].store(0, Ordering::Relaxed);
+        tm.recycle(
+            self.thread,
+            Some(self.read_set),
+            [Some(self.write_sig), Some(self.miss_set)],
+            Some(self.write_addrs),
+            Some(self.redo),
+        );
         // The FPGA-granted sequence doubles as the durable sequence: it
-        // is dense from 0 across update commits, and the turn-wait above
-        // makes write-backs publish in exactly this order.
+        // is dense from 0 across update commits, and the turn-wait inside
+        // `publish_commit` makes write-backs publish in exactly this
+        // order.
         Ok(Some(seq))
+    }
+
+    type Pending = RococoPending<'a>;
+
+    /// Dispatches validation without waiting for the verdict — the
+    /// batch-friendly half of the commit, amortising the validator
+    /// round-trip across many in-flight transactions (Figure 6).
+    ///
+    /// Demands a synchronous commit (`Err(self)`) when the transaction is
+    /// irrevocable (it must commit under its exclusive gate, immediately)
+    /// or when the commit gate cannot be acquired without blocking: a
+    /// waiting escalation writer means parking here could deadlock a
+    /// worker whose own earlier pendings still hold read guards.
+    fn submit_commit(self) -> Result<RococoPending<'a>, Self> {
+        let tm = self.tm;
+
+        // Read-only transactions commit directly on the CPU: nothing to
+        // await, so the pending handle is born settled.
+        if self.write_addrs.is_empty() {
+            tm.stats.read_only_commits.fetch_add(1, Ordering::Relaxed);
+            tm.consecutive_aborts[self.thread].store(0, Ordering::Relaxed);
+            let thread = self.thread;
+            tm.recycle(
+                thread,
+                Some(self.read_set),
+                [Some(self.write_sig), Some(self.miss_set)],
+                Some(self.write_addrs),
+                Some(self.redo),
+            );
+            return Ok(RococoPending {
+                tm,
+                thread,
+                state: PendingState::Done,
+            });
+        }
+
+        if self.irrevocable.is_some() {
+            return Err(self);
+        }
+        let Some(gate) = tm.commit_gate.try_read() else {
+            return Err(self);
+        };
+
+        let req = ValidateRequest {
+            tx_id: self.thread as u64,
+            valid_ts: self.valid_ts,
+            read_addrs: self.read_set.addrs().to_vec(),
+            write_addrs: self.write_addrs.iter().map(|&a| a as u64).collect(),
+        };
+        let n_addrs = req.read_addrs.len() + req.write_addrs.len();
+        rococo_telemetry::tlm_event!(rococo_telemetry::TxEvent::ValidateSubmit {
+            reads: req.read_addrs.len() as u32,
+            writes: req.write_addrs.len() as u32,
+        });
+        let verdict = tm.handle.validate_async(req);
+        // The read-side buffers are done the moment the request is built;
+        // the write signature and redo log travel with the pending handle
+        // (write-back happens at `finish`) and are recycled there.
+        tm.recycle(
+            self.thread,
+            Some(self.read_set),
+            [Some(self.miss_set), None],
+            Some(self.write_addrs),
+            None,
+        );
+        Ok(RococoPending {
+            tm,
+            thread: self.thread,
+            state: PendingState::InFlight {
+                verdict,
+                write_sig: self.write_sig,
+                redo: self.redo,
+                n_addrs,
+                _gate: gate,
+            },
+        })
+    }
+}
+
+/// An in-flight [`RococoTx`] commit: validation has been shipped to the
+/// FPGA, the verdict and the write-back are still owed.
+pub struct RococoPending<'a> {
+    tm: &'a RococoTm,
+    thread: usize,
+    state: PendingState<'a>,
+}
+
+enum PendingState<'a> {
+    /// Settled at submission (read-only commit, or already finished).
+    Done,
+    /// Awaiting the FPGA verdict. The shared commit-gate guard is held
+    /// until the verdict is consumed so an irrevocable escalation cannot
+    /// slip between our validation and our publication.
+    InFlight {
+        verdict: PendingVerdict,
+        write_sig: Sig,
+        redo: HashMap<Addr, Word>,
+        n_addrs: usize,
+        _gate: RwLockReadGuard<'a, ()>,
+    },
+}
+
+impl std::fmt::Debug for RococoPending<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RococoPending")
+            .field("thread", &self.thread)
+            .field(
+                "in_flight",
+                &matches!(self.state, PendingState::InFlight { .. }),
+            )
+            .finish()
+    }
+}
+
+impl RococoPending<'_> {
+    /// See [`RococoTx::count_abort`]: every abort path must bump the
+    /// escalation counter, including verdict-time aborts of submitted
+    /// commits.
+    fn count_abort(tm: &RococoTm, thread: usize, kind: AbortKind) -> Abort {
+        tm.consecutive_aborts[thread].fetch_add(1, Ordering::Relaxed);
+        Abort::new(kind)
+    }
+}
+
+impl PendingCommit for RococoPending<'_> {
+    fn finish(mut self) -> Result<Option<u64>, Abort> {
+        let tm = self.tm;
+        let thread = self.thread;
+        let (verdict, write_sig, redo, n_addrs, _gate) =
+            match std::mem::replace(&mut self.state, PendingState::Done) {
+                PendingState::Done => return Ok(None),
+                PendingState::InFlight {
+                    verdict,
+                    write_sig,
+                    redo,
+                    n_addrs,
+                    _gate,
+                } => (verdict, write_sig, redo, n_addrs, _gate),
+            };
+
+        // The wall clock measures the *residual* stall: time actually
+        // spent blocked on the verdict after whatever useful work the
+        // caller overlapped with the round-trip. The model time still
+        // charges the full simulated round-trip (Figure 11).
+        let t0 = Instant::now();
+        let verdict = verdict.wait();
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        tm.stats.validation_ns.fetch_add(wall_ns, Ordering::Relaxed);
+        tm.stats.validation_model_ns.fetch_add(
+            tm.config.timing.latency_ns(n_addrs) as u64,
+            Ordering::Relaxed,
+        );
+        tm.stats.validations.fetch_add(1, Ordering::Relaxed);
+        rococo_telemetry::tlm_event!(rococo_telemetry::TxEvent::Verdict {
+            verdict: match verdict {
+                FpgaVerdict::Commit { .. } => "commit",
+                FpgaVerdict::AbortCycle => "abort-cycle",
+                FpgaVerdict::AbortWindowOverflow => "abort-window",
+                FpgaVerdict::ServiceStopped => "service-stopped",
+            },
+            model_ns: tm.config.timing.latency_ns(n_addrs) as u64,
+            detector_ns: tm.config.timing.detector_ns(n_addrs) as u64,
+            manager_ns: tm.config.timing.manager_ns() as u64,
+            in_flight: tm.handle.in_flight() as u32,
+        });
+
+        let seq = match verdict {
+            FpgaVerdict::Commit { seq } => seq,
+            refused => {
+                let kind = match refused {
+                    FpgaVerdict::AbortCycle => AbortKind::FpgaCycle,
+                    FpgaVerdict::AbortWindowOverflow => AbortKind::FpgaWindow,
+                    _ => AbortKind::ServiceStopped,
+                };
+                tm.recycle(thread, None, [Some(write_sig), None], None, Some(redo));
+                return Err(Self::count_abort(tm, thread, kind));
+            }
+        };
+
+        tm.publish_commit(thread, seq, &write_sig, &redo);
+        tm.consecutive_aborts[thread].store(0, Ordering::Relaxed);
+        tm.recycle(thread, None, [Some(write_sig), None], None, Some(redo));
+        Ok(Some(seq))
+    }
+}
+
+impl Drop for RococoPending<'_> {
+    fn drop(&mut self) {
+        // An abandoned in-flight commit still owes the system its
+        // publication: if the validator granted a sequence, every later
+        // committer spins waiting for that turn. Await the verdict and
+        // publish (no stats — the caller walked away from the outcome).
+        let state = std::mem::replace(&mut self.state, PendingState::Done);
+        if let PendingState::InFlight {
+            verdict,
+            write_sig,
+            redo,
+            ..
+        } = state
+        {
+            if let FpgaVerdict::Commit { seq } = verdict.wait() {
+                self.tm.publish_commit(self.thread, seq, &write_sig, &redo);
+            }
+            self.tm
+                .recycle(self.thread, None, [Some(write_sig), None], None, Some(redo));
+        }
     }
 }
 
@@ -527,16 +894,19 @@ impl TmSystem for RococoTm {
             None
         };
         let ts = self.global_ts.load(Ordering::SeqCst);
+        // Recycled buffers arrive cleared (see `recycle`), so the steady
+        // state pays no allocation here.
+        let (read_set, write_sig, miss_set, write_addrs, redo) = self.take_scratch(thread_id);
         RococoTx {
             tm: self,
             thread: thread_id,
             local_ts: ts,
             valid_ts: ts,
-            read_set: ChunkedSig::new(&self.scheme),
-            write_sig: self.scheme.new_sig(),
-            write_addrs: Vec::new(),
-            redo: HashMap::new(),
-            miss_set: self.scheme.new_sig(),
+            read_set,
+            write_sig,
+            write_addrs,
+            redo,
+            miss_set,
             irrevocable,
         }
     }
@@ -805,12 +1175,98 @@ mod tests {
         let mut sig = tm.scheme.new_sig();
         tm.scheme.insert(&mut sig, 5);
         *tm.update_slots[1].sig.write() = Some(sig);
-        tm.active_updates.fetch_add(1, Ordering::SeqCst);
+        tm.mark_update_slot(1);
 
         let mut tx = tm.begin(0);
         let err = tx.read(5).unwrap_err();
         assert_eq!(err.kind, AbortKind::Conflict);
         assert_eq!(tm.consecutive_aborts[0].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pipelined_submissions_commit_in_sequence_order() {
+        use crate::api::{finish_submitted, try_submit, Submitted};
+        // One worker submits a whole batch before awaiting any verdict —
+        // the run-to-completion shard-loop shape. Verdicts are granted in
+        // submission order and published FIFO, so sequences stay dense.
+        let tm = tm(256, 2);
+        let mut pendings = Vec::new();
+        for i in 0..8usize {
+            match try_submit(&tm, 0, &mut |tx: &mut RococoTx<'_>| {
+                let v = tx.read(i)?;
+                tx.write(i, v + 1)
+            }) {
+                Submitted::Pending(p, ()) => pendings.push(p),
+                Submitted::Deferred(..) => panic!("uncontended submit must not defer"),
+                Submitted::Aborted(a) => panic!("uncontended submit aborted: {a}"),
+            }
+        }
+        let mut seqs = Vec::new();
+        for p in pendings {
+            seqs.push(finish_submitted(&tm, p).unwrap().unwrap());
+        }
+        assert_eq!(seqs, (0..8u64).collect::<Vec<_>>());
+        for i in 0..8 {
+            assert_eq!(tm.heap().load_direct(i), 1);
+        }
+        assert_eq!(tm.stats().snapshot().commits, 8);
+        assert_eq!(tm.fpga_stats().commits, 8);
+    }
+
+    #[test]
+    fn read_only_submission_settles_immediately() {
+        use crate::api::{finish_submitted, try_submit, Submitted};
+        let tm = tm(64, 1);
+        match try_submit(&tm, 0, &mut |tx: &mut RococoTx<'_>| tx.read(0)) {
+            Submitted::Pending(p, v) => {
+                assert_eq!(v, 0);
+                assert_eq!(finish_submitted(&tm, p).unwrap(), None);
+            }
+            _ => panic!("read-only submit must pend (settled)"),
+        }
+        assert_eq!(tm.stats().snapshot().read_only_commits, 1);
+        assert_eq!(tm.fpga_stats().requests, 0);
+    }
+
+    #[test]
+    fn dropped_pending_still_publishes_its_sequence() {
+        use crate::api::{try_submit, Submitted};
+        // Abandoning an in-flight commit must not wedge the commit chain:
+        // its granted sequence is published on drop so later committers
+        // get their turn.
+        let tm = tm(64, 2);
+        match try_submit(&tm, 0, &mut |tx: &mut RococoTx<'_>| tx.write(3, 7)) {
+            Submitted::Pending(p, ()) => drop(p),
+            _ => panic!("submit must pend"),
+        }
+        atomically(&tm, 1, |tx| {
+            let v = tx.read(4)?;
+            tx.write(4, v + 1)
+        });
+        assert_eq!(tm.heap().load_direct(3), 7);
+        assert_eq!(tm.heap().load_direct(4), 1);
+        assert_eq!(tm.global_ts.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn irrevocable_transactions_refuse_async_submission() {
+        use crate::api::{try_submit, Submitted};
+        let tm = RococoTm::with_configs(RococoConfig {
+            tm: TmConfig {
+                heap_words: 64,
+                max_threads: 1,
+            },
+            irrevocable_after: 0,
+            ..RococoConfig::default()
+        });
+        match try_submit(&tm, 0, &mut |tx: &mut RococoTx<'_>| tx.write(0, 1)) {
+            Submitted::Deferred(tx, ()) => {
+                assert!(crate::api::commit_deferred(&tm, tx).unwrap().is_some());
+            }
+            _ => panic!("irrevocable transactions must demand a synchronous commit"),
+        }
+        assert_eq!(tm.heap().load_direct(0), 1);
+        assert_eq!(tm.stats().snapshot().fallback_commits, 1);
     }
 
     #[test]

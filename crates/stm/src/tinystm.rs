@@ -8,7 +8,7 @@
 //! TPDS'10]: a global version clock, one versioned lock word per heap word,
 //! snapshot extension on read, and commit-time lock–validate–write-back.
 
-use crate::api::{Abort, AbortKind, TmConfig, TmStats, TmSystem, Transaction};
+use crate::api::{Abort, AbortKind, ReadyCommit, TmConfig, TmStats, TmSystem, Transaction};
 use crate::heap::{Addr, TmHeap, Word};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -210,6 +210,12 @@ impl Transaction for TinyTx<'_> {
             self.tm.lock_of(a).store(wv << 1, Ordering::SeqCst);
         }
         Ok(Some(seq))
+    }
+
+    type Pending = ReadyCommit;
+
+    fn submit_commit(self) -> Result<ReadyCommit, Self> {
+        Ok(ReadyCommit::new(self.commit_seq()))
     }
 }
 
