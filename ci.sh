@@ -19,6 +19,11 @@
 #                      #   runs with the emitted JSON rows schema-validated
 #                      #   (bench_check), including an overload run that
 #                      #   must shed
+#   ./ci.sh --sched    # + the hybrid-router tier: a short zipfian
+#                      #   `--backend hybrid` run whose JSON row must carry
+#                      #   the sched counter object (bench_check
+#                      #   --require-hybrid) and whose scraped router
+#                      #   metrics must pass telemetry_check --sched
 #
 # The nightly job sets CHAOS_EXTENDED=1, which widens the stress tier to
 # the full seed sweep and the hostile commit-queue geometries, and
@@ -32,6 +37,7 @@ RECOVERY=0
 REPL=0
 LINT_JSON=0
 BENCH_SMOKE=0
+SCHED=0
 for arg in "$@"; do
   case "$arg" in
     --stress) STRESS=1 ;;
@@ -39,6 +45,7 @@ for arg in "$@"; do
     --repl) REPL=1 ;;
     --lint-json) LINT_JSON=1 ;;
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --sched) SCHED=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -95,6 +102,28 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
     "$BENCH_TMP/bench.json" --min-rows 3 --require-open-shed
   # The committed report must stay schema-clean too.
   cargo run --release -q -p rococo-bench --bin bench_check -- BENCH_txkv.json
+fi
+
+if [[ "$SCHED" == "1" ]]; then
+  echo "== hybrid-router tier (zipfian hybrid smoke: bench row + sched metrics)"
+  SCHED_TMP="$TLM_DIR/sched-smoke"   # lives under TLM_DIR, cleaned by its trap
+  mkdir -p "$SCHED_TMP/tlm"
+  # High-contention zipfian mix on the hybrid router: the emitted row must
+  # carry the sched counter object, and the scraped metrics must cover the
+  # rococo_sched_ namespace with both route paths labelled out.
+  cargo run --release -q -p rococo-bench --bin txkv_load -- \
+    --backend hybrid --ops 30000 --shards 2 --workers 2 --clients 8 \
+    --keys 4096 --theta 1.2 --read-pct 20 \
+    --telemetry "$SCHED_TMP/tlm" --json "$SCHED_TMP/bench.json" \
+    --label "ci hybrid sched smoke"
+  cargo run --release -q -p rococo-bench --bin bench_check -- \
+    "$SCHED_TMP/bench.json" --require-hybrid
+  # --no-fpga: when the router pins the whole mix to the HTM fast path
+  # (the expected outcome on this workload), no software commit runs the
+  # FPGA validation pipeline, so the trace legitimately has no stage
+  # slices. The sched namespace check is what this tier is for.
+  cargo run --release -q -p rococo-bench --bin telemetry_check -- \
+    "$SCHED_TMP/tlm" --no-wal --no-fpga --sched
 fi
 
 if [[ "$STRESS" == "1" || "${CHAOS_EXTENDED:-0}" == "1" ]]; then

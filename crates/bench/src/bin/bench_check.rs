@@ -1,6 +1,7 @@
 //! bench_check: schema validation for a `txkv_load` JSON report.
 //!
-//! Usage: `bench_check <FILE> [--min-rows N] [--require-open-shed]`
+//! Usage: `bench_check <FILE> [--min-rows N] [--require-open-shed]
+//! [--require-hybrid]`
 //!
 //! Validates `BENCH_txkv.json` (or any report `txkv_load --json` wrote,
 //! possibly grown with `--append`): the document must be
@@ -9,7 +10,9 @@
 //! ceiling, mode, ...) plus the result columns (throughput, tail
 //! latency, abort rate). `--min-rows` asserts a lower bound on the row
 //! count; `--require-open-shed` asserts that at least one open-loop row
-//! shed requests, i.e. that an overload smoke actually overloaded.
+//! shed requests, i.e. that an overload smoke actually overloaded;
+//! `--require-hybrid` asserts that at least one row came from the
+//! hybrid router and carries its `sched` counter object.
 //!
 //! Exits 0 on success, 1 with a diagnostic on the first failure — the
 //! CI bench-smoke step runs this against short closed- and open-loop
@@ -99,6 +102,54 @@ fn check_row(i: usize, row: &Json) -> Result<(), String> {
                 .ok_or_else(|| format!("row {i}: repl object missing numeric \"{f}\""))?;
         }
     }
+    // `deferred` (server-side router/batching deferrals, split from the
+    // client-side `shed` column) joined the schema with the hybrid
+    // backend; older appended rows may predate it.
+    if let Some(d) = row.get("deferred") {
+        let v = d
+            .as_f64()
+            .ok_or_else(|| format!("row {i}: \"deferred\" is not numeric"))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!(
+                "row {i}: \"deferred\" = {v} is not a finite non-negative"
+            ));
+        }
+    }
+    // Hybrid rows carry the router's counters; the split routes/commits
+    // must be internally consistent with the row itself.
+    if let Some(s) = row.get("sched") {
+        for f in [
+            "routes_htm",
+            "routes_sw",
+            "commits_htm",
+            "commits_sw",
+            "migrations",
+            "capacity_bans",
+            "deferrals",
+            "adapts",
+            "serialized_classes",
+            "read_bound",
+            "write_bound",
+        ] {
+            let v = s
+                .get(f)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("row {i}: sched object missing numeric \"{f}\""))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!(
+                    "row {i}: sched \"{f}\" = {v} is not a finite non-negative"
+                ));
+            }
+        }
+        let commits = row.get("committed").and_then(Json::as_f64).unwrap_or(0.0);
+        let split = s.get("commits_htm").and_then(Json::as_f64).unwrap_or(0.0)
+            + s.get("commits_sw").and_then(Json::as_f64).unwrap_or(0.0);
+        if split < commits {
+            return Err(format!(
+                "row {i}: sched commit split {split} below the row's {commits} committed"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -106,6 +157,7 @@ fn main() -> ExitCode {
     let mut path: Option<PathBuf> = None;
     let mut min_rows = 1usize;
     let mut require_open_shed = false;
+    let mut require_hybrid = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -116,8 +168,12 @@ fn main() -> ExitCode {
                 min_rows = v;
             }
             "--require-open-shed" => require_open_shed = true,
+            "--require-hybrid" => require_hybrid = true,
             "--help" | "-h" => {
-                println!("usage: bench_check <FILE> [--min-rows N] [--require-open-shed]");
+                println!(
+                    "usage: bench_check <FILE> [--min-rows N] [--require-open-shed] \
+                     [--require-hybrid]"
+                );
                 return ExitCode::SUCCESS;
             }
             other if path.is_none() => path = Some(PathBuf::from(other)),
@@ -159,11 +215,24 @@ fn main() -> ExitCode {
             return fail("no open-loop row shed any request (overload smoke did not overload)");
         }
     }
+    if require_hybrid {
+        let hybrid = rows.iter().any(|r| {
+            r.get("backend").and_then(Json::as_str) == Some("hybrid") && r.get("sched").is_some()
+        });
+        if !hybrid {
+            return fail("no hybrid row with a sched counter object");
+        }
+    }
     println!(
-        "bench_check: OK ({} rows{})",
+        "bench_check: OK ({} rows{}{})",
         rows.len(),
         if require_open_shed {
             ", open-loop shedding observed"
+        } else {
+            ""
+        },
+        if require_hybrid {
+            ", hybrid sched row present"
         } else {
             ""
         }

@@ -1,13 +1,15 @@
 //! telemetry_check: schema validation for a `txkv_load --telemetry` dir.
 //!
-//! Usage: `telemetry_check <DIR> [--no-wal] [--no-fpga]`
+//! Usage: `telemetry_check <DIR> [--no-wal] [--no-fpga] [--sched]`
 //!
 //! Validates the three artifacts a telemetry-enabled run writes:
 //!
 //! * `metrics.prom` — must pass the strict Prometheus text-format
 //!   validator and cover every expected `rococo_*` subsystem namespace
 //!   (txkv, tm, fpga, faults, wal — the latter two gated by flags for
-//!   runs on backends without an FPGA model or without durability).
+//!   runs on backends without an FPGA model or without durability;
+//!   `--sched` additionally requires the hybrid router's
+//!   `rococo_sched_` namespace).
 //! * `metrics.json` — must parse as JSON with a non-empty `metrics`
 //!   array whose entries carry `name` and `kind` fields.
 //! * `trace.json` — must parse as Chrome trace-event JSON with at least
@@ -35,12 +37,14 @@ fn main() -> ExitCode {
     let mut dir: Option<PathBuf> = None;
     let mut expect_wal = true;
     let mut expect_fpga = true;
+    let mut expect_sched = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--no-wal" => expect_wal = false,
             "--no-fpga" => expect_fpga = false,
+            "--sched" => expect_sched = true,
             "--help" | "-h" => {
-                println!("usage: telemetry_check <DIR> [--no-wal] [--no-fpga]");
+                println!("usage: telemetry_check <DIR> [--no-wal] [--no-fpga] [--sched]");
                 return ExitCode::SUCCESS;
             }
             other if dir.is_none() => dir = Some(PathBuf::from(other)),
@@ -70,12 +74,36 @@ fn main() -> ExitCode {
     if expect_wal {
         prefixes.push("rococo_wal_");
     }
+    if expect_sched {
+        prefixes.push("rococo_sched_");
+    }
     for p in &prefixes {
         if !prom
             .lines()
             .any(|l| !l.starts_with('#') && l.starts_with(p))
         {
             return fail(&format!("metrics.prom: no sample with prefix {p}"));
+        }
+    }
+    if expect_sched {
+        // The router's schema, not just its namespace: both route paths
+        // must be labelled out, and the adapted admission bounds must be
+        // exported as gauges.
+        for needle in [
+            "rococo_sched_routes_total{path=\"htm\"}",
+            "rococo_sched_routes_total{path=\"sw\"}",
+            "rococo_sched_commits_total{path=\"htm\"}",
+            "rococo_sched_commits_total{path=\"sw\"}",
+            "rococo_sched_migrations_total",
+            "rococo_sched_read_bound_words",
+            "rococo_sched_write_bound_words",
+        ] {
+            if !prom
+                .lines()
+                .any(|l| !l.starts_with('#') && l.starts_with(needle))
+            {
+                return fail(&format!("metrics.prom: missing sched sample {needle}"));
+            }
         }
     }
 

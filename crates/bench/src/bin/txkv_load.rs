@@ -39,6 +39,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rococo_bench::banner;
 use rococo_repl::{Cluster, ClusterConfig, ReplError};
+use rococo_sched::{HybridTm, SchedSnapshot};
 use rococo_server::{
     DurabilityConfig, PendingReply, Request, Response, TelemetryConfig, TxKv, TxKvConfig, TxKvError,
 };
@@ -206,7 +207,7 @@ fn parse_args() -> LoadCfg {
             "--quick" => cfg.ops = 100_000,
             "--help" | "-h" => {
                 println!(
-                    "txkv_load [--backend tinystm|htm|rococo|both|all] [--ops N] \
+                    "txkv_load [--backend tinystm|htm|rococo|hybrid|both|all] [--ops N] \
                      [--shards N] [--workers N] [--clients N] [--keys N] [--theta F] \
                      [--read-pct P] [--mode closed|open] [--rate R] [--open-loop R] \
                      [--queue N] [--batch N,M,...] \
@@ -344,7 +345,11 @@ fn open_loop<S: TmSystem + 'static>(
             Ok(reply) => pending.push_back(reply),
             Err(TxKvError::Overloaded { .. }) => {
                 // Open loop drops shed requests: that is the load shedding
-                // working as intended under overload.
+                // working as intended under overload. Only admission-control
+                // rejections land here — requests the backend *defers* to
+                // the synchronous commit path are still answered and are
+                // counted separately, server-side, in the report's
+                // `deferred` column.
                 totals.shed.fetch_add(1, Ordering::Relaxed);
             }
             Err(_) => {
@@ -368,7 +373,12 @@ struct RunResult {
     elapsed_s: f64,
     committed: u64,
     throughput_rps: f64,
+    /// Requests rejected at admission (queue overload) — the client-side
+    /// count, distinct from `deferred`.
     shed: u64,
+    /// Requests whose commit the backend deferred to the synchronous
+    /// path (server-side router/batching deferral, still answered).
+    deferred: u64,
     failed: u64,
     abort_rate: f64,
     p50_ns: u64,
@@ -381,6 +391,9 @@ struct RunResult {
     /// Replication figures; present only on `--replicas` rows so the
     /// single-node schema is untouched.
     repl: Option<ReplRun>,
+    /// Router/scheduler counters; present only on single-node hybrid
+    /// rows so every other schema is untouched.
+    sched: Option<SchedSnapshot>,
 }
 
 /// The replication columns of a `--replicas` row.
@@ -429,7 +442,8 @@ impl RunResult {
         let _ = write!(
             out,
             ",\"backend\":\"{}\",\"durability\":\"{}\",\"batch\":{},\"elapsed_s\":{:.3},\
-             \"committed\":{},\"throughput_rps\":{:.1},\"shed\":{},\"failed\":{},\
+             \"committed\":{},\"throughput_rps\":{:.1},\"shed\":{},\"deferred\":{},\
+             \"failed\":{},\
              \"abort_rate\":{:.5},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\
              \"flight_recorder\":{}",
             self.backend,
@@ -439,6 +453,7 @@ impl RunResult {
             self.committed,
             self.throughput_rps,
             self.shed,
+            self.deferred,
             self.failed,
             self.abort_rate,
             self.p50_ns,
@@ -452,6 +467,25 @@ impl RunResult {
                 ",\"repl\":{{\"replicas\":{},\"lag_p50_seq\":{},\"lag_p99_seq\":{},\
                  \"failover_ms\":{:.2},\"follower_reads\":{}}}",
                 r.replicas, r.lag_p50_seq, r.lag_p99_seq, r.failover_ms, r.follower_reads,
+            );
+        }
+        if let Some(s) = &self.sched {
+            let _ = write!(
+                out,
+                ",\"sched\":{{\"routes_htm\":{},\"routes_sw\":{},\"commits_htm\":{},\
+                 \"commits_sw\":{},\"migrations\":{},\"capacity_bans\":{},\"deferrals\":{},\
+                 \"adapts\":{},\"serialized_classes\":{},\"read_bound\":{},\"write_bound\":{}}}",
+                s.routes_htm,
+                s.routes_sw,
+                s.commits_htm,
+                s.commits_sw,
+                s.migrations,
+                s.capacity_bans,
+                s.deferrals(),
+                s.adapts,
+                s.serialized_classes,
+                s.read_bound,
+                s.write_bound,
             );
         }
         match &self.wal {
@@ -622,6 +656,7 @@ fn run_backend<S: TmSystem + 'static>(
         committed: stats.committed,
         throughput_rps: stats.committed as f64 / wall.as_secs_f64().max(1e-9),
         shed,
+        deferred: stats.deferred,
         failed,
         abort_rate,
         p50_ns: stats.latency.p50_ns,
@@ -630,6 +665,7 @@ fn run_backend<S: TmSystem + 'static>(
         flight_recorder: recorder_on,
         wal: report.wal.clone(),
         repl: None,
+        sched: None,
     }
 }
 
@@ -809,16 +845,18 @@ fn run_replicated<S: TmSystem + 'static>(
     let failed = totals.failed.load(Ordering::Relaxed);
     let snapshot = cluster.snapshot();
     let report = cluster.shutdown();
-    let (committed, aborts, attempts) = report.primary.iter().chain(report.demoted.iter()).fold(
-        (0u64, 0u64, 0u64),
-        |(c, a, t), r| {
+    let (committed, aborts, attempts, deferred) = report
+        .primary
+        .iter()
+        .chain(report.demoted.iter())
+        .fold((0u64, 0u64, 0u64, 0u64), |(c, a, t, d), r| {
             (
                 c + r.aggregate.committed,
                 a + r.aggregate.total_aborts(),
                 t + r.aggregate.committed + r.aggregate.retries,
+                d + r.aggregate.deferred,
             )
-        },
-    );
+        });
     let lat = latency.snapshot();
     let lag = lag_hist.snapshot();
     println!(
@@ -858,6 +896,7 @@ fn run_replicated<S: TmSystem + 'static>(
         committed,
         throughput_rps: ok as f64 / wall.as_secs_f64().max(1e-9),
         shed,
+        deferred,
         failed,
         abort_rate: if attempts > 0 {
             aborts as f64 / attempts as f64
@@ -869,6 +908,7 @@ fn run_replicated<S: TmSystem + 'static>(
         p999_ns: lat.quantile_upper(0.999),
         flight_recorder: false,
         wal: report.primary.as_ref().and_then(|r| r.wal.clone()),
+        sched: None,
         repl: Some(ReplRun {
             replicas: cfg.replicas,
             lag_p50_seq: lag.quantile_upper(0.5),
@@ -941,9 +981,10 @@ fn main() {
     let run_tiny = matches!(cfg.backend.as_str(), "tinystm" | "both" | "all");
     let run_htm = matches!(cfg.backend.as_str(), "htm" | "all");
     let run_rococo = matches!(cfg.backend.as_str(), "rococo" | "both" | "all");
-    if !(run_tiny || run_htm || run_rococo) {
+    let run_hybrid = matches!(cfg.backend.as_str(), "hybrid" | "all");
+    if !(run_tiny || run_htm || run_rococo || run_hybrid) {
         panic!(
-            "unknown backend {} (tinystm|htm|rococo|both|all)",
+            "unknown backend {} (tinystm|htm|rococo|hybrid|both|all)",
             cfg.backend
         );
     }
@@ -970,6 +1011,12 @@ fn main() {
         if run_rococo {
             results.push(run_replicated(
                 move || Arc::new(RococoTm::with_config(tm_cfg)),
+                &cfg,
+            ));
+        }
+        if run_hybrid {
+            results.push(run_replicated(
+                move || Arc::new(HybridTm::with_config(tm_cfg)),
                 &cfg,
             ));
         }
@@ -1019,6 +1066,15 @@ fn main() {
                         batch,
                         recorder_on,
                     ));
+                }
+                if run_hybrid {
+                    // Keep a handle on the router so the row can carry
+                    // its sched counters after the service shuts down.
+                    let tm = Arc::new(HybridTm::with_config(tm_cfg));
+                    let mut row =
+                        run_backend(Arc::clone(&tm), &cfg, durability, batch, recorder_on);
+                    row.sched = Some(tm.sched_snapshot());
+                    results.push(row);
                 }
             }
         }

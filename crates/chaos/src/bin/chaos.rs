@@ -1,7 +1,7 @@
 //! `chaos` — CLI front-end for the concurrency-fault harness.
 //!
 //! ```text
-//! chaos [--backend rococo|tiny|htm|lock|seq] [--seed N | --seeds a,b,c]
+//! chaos [--backend rococo|tiny|htm|lock|hybrid|seq] [--seed N | --seeds a,b,c]
 //!       [--threads N] [--ops N] [--accounts N]
 //!       [--faults none|timing|aggressive] [--queue-len N] [--window N]
 //!       [--update-spin N] [--irrevocable-after N] [--no-strict]

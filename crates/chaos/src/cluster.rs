@@ -288,6 +288,10 @@ pub fn run_cluster(params: &ClusterParams) -> ClusterRunReport {
             let tm = tm_cfg(cfg);
             move || Arc::new(GlobalLockTm::with_config(tm))
         }),
+        BackendKind::Hybrid => run_on(params, |cfg| {
+            let tm = tm_cfg(cfg);
+            move || Arc::new(rococo_sched::HybridTm::with_config(tm))
+        }),
         BackendKind::Seq => panic!("the sequential backend cannot run a multi-worker service"),
     }
 }

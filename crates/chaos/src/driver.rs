@@ -11,9 +11,10 @@ use crate::history::ChaosRecorder;
 use crate::oracle::{check_history, OracleInput};
 use crate::workload::{apply_op, gen_ops, Layout, INITIAL_BALANCE};
 use rococo_fpga::{FaultConfig, FaultSnapshot};
+use rococo_sched::{HybridConfig, HybridTm, SchedSnapshot};
 use rococo_stm::{
-    try_atomically, AbortKind, GlobalLockTm, RococoConfig, RococoTm, TinyStm, TmConfig, TmSystem,
-    TsxHtm,
+    try_atomically, AbortKind, GlobalLockTm, HtmConfig, RococoConfig, RococoTm, TinyStm, TmConfig,
+    TmSystem, TsxHtm,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -31,6 +32,12 @@ pub enum BackendKind {
     Htm,
     /// The single-global-lock runtime.
     Lock,
+    /// The adaptive hybrid router (`rococo-sched`): HTM fast path plus
+    /// the ROCoCoTM slow path over one heap. Chaos runs it with a
+    /// deliberately tiny HTM write-set so multi-word transactions
+    /// capacity-abort and migrate backends mid-retry — the interleaving
+    /// the serializability oracle must survive.
+    Hybrid,
     /// The sequential reference (always driven with one thread; it has no
     /// synchronisation). Exists to sanity-check the oracle itself.
     Seq,
@@ -38,11 +45,12 @@ pub enum BackendKind {
 
 impl BackendKind {
     /// Every backend, in sweep order.
-    pub const ALL: [BackendKind; 5] = [
+    pub const ALL: [BackendKind; 6] = [
         BackendKind::Rococo,
         BackendKind::Tiny,
         BackendKind::Htm,
         BackendKind::Lock,
+        BackendKind::Hybrid,
         BackendKind::Seq,
     ];
 
@@ -53,6 +61,7 @@ impl BackendKind {
             BackendKind::Tiny => "tiny",
             BackendKind::Htm => "htm",
             BackendKind::Lock => "lock",
+            BackendKind::Hybrid => "hybrid",
             BackendKind::Seq => "seq",
         }
     }
@@ -172,6 +181,10 @@ pub struct ChaosReport {
     /// labelled with the canonical [`AbortKind::as_label`] spelling used
     /// by server reports and telemetry metric labels.
     pub abort_breakdown: Vec<(&'static str, u64)>,
+    /// Router/scheduler counters, for [`BackendKind::Hybrid`] runs only
+    /// — in particular `migrations`, which proves attempts actually
+    /// crossed backends mid-retry during the run.
+    pub sched: Option<SchedSnapshot>,
     /// Oracle violations; empty means the run passed.
     pub violations: Vec<String>,
 }
@@ -204,8 +217,14 @@ impl ChaosReport {
                 format!(" [{}]", parts.join(" "))
             },
             self.max_failed_streak,
-            match &self.injected {
-                Some(f) if f.total() > 0 => format!(", {} injected faults", f.total()),
+            match (&self.injected, &self.sched) {
+                (Some(f), Some(s)) if f.total() > 0 => format!(
+                    ", {} injected faults, {} migrations",
+                    f.total(),
+                    s.migrations
+                ),
+                (Some(f), None) if f.total() > 0 => format!(", {} injected faults", f.total()),
+                (_, Some(s)) => format!(", {} migrations", s.migrations),
                 _ => String::new(),
             },
             if self.ok() {
@@ -236,28 +255,70 @@ pub fn run_chaos(params: &ChaosParams) -> ChaosReport {
         heap_words: layout.heap_words().next_power_of_two(),
         max_threads: params.threads,
     };
+    let rococo_config = RococoConfig {
+        tm: tm_config,
+        window: params.window,
+        queue_len: params.queue_len.max(params.window),
+        update_spin: params.update_spin,
+        irrevocable_after: params.irrevocable_after,
+        faults: params.faults.config(params.seed),
+        ..RococoConfig::default()
+    };
     match params.backend {
         BackendKind::Rococo => run_on(
-            RococoTm::with_configs(RococoConfig {
+            RococoTm::with_configs(rococo_config),
+            &params,
+            &layout,
+            |_| None,
+        ),
+        BackendKind::Tiny => run_on(TinyStm::with_config(tm_config), &params, &layout, |_| None),
+        BackendKind::Htm => run_on(TsxHtm::with_config(tm_config), &params, &layout, |_| None),
+        BackendKind::Lock => run_on(
+            GlobalLockTm::with_config(tm_config),
+            &params,
+            &layout,
+            |_| None,
+        ),
+        BackendKind::Hybrid => run_on(
+            // The HTM write-set is shrunk to one direct-mapped word-granular
+            // entry, so any transaction writing two distinct words
+            // capacity-aborts its fast-path attempt and migrates to the
+            // software path mid-retry — the schedule under test. The slow
+            // path inherits the run's fault injection.
+            HybridTm::with_configs(HybridConfig {
                 tm: tm_config,
-                window: params.window,
-                queue_len: params.queue_len.max(params.window),
-                update_spin: params.update_spin,
-                irrevocable_after: params.irrevocable_after,
-                faults: params.faults.config(params.seed),
-                ..RococoConfig::default()
+                rococo: rococo_config,
+                htm: HtmConfig {
+                    line_shift: 0,
+                    write_sets: 1,
+                    write_ways: 1,
+                    read_capacity: 4096,
+                    max_attempts: 5,
+                },
+                classes: 4,
+                cooldown: 8,
+                strike_limit: 2,
+                ..HybridConfig::default()
             }),
             &params,
             &layout,
+            |tm| Some(tm.sched_snapshot()),
         ),
-        BackendKind::Tiny => run_on(TinyStm::with_config(tm_config), &params, &layout),
-        BackendKind::Htm => run_on(TsxHtm::with_config(tm_config), &params, &layout),
-        BackendKind::Lock => run_on(GlobalLockTm::with_config(tm_config), &params, &layout),
-        BackendKind::Seq => run_on(rococo_stm::SeqTm::with_config(tm_config), &params, &layout),
+        BackendKind::Seq => run_on(
+            rococo_stm::SeqTm::with_config(tm_config),
+            &params,
+            &layout,
+            |_| None,
+        ),
     }
 }
 
-fn run_on<S: TmSystem + 'static>(system: S, params: &ChaosParams, layout: &Layout) -> ChaosReport {
+fn run_on<S: TmSystem + 'static>(
+    system: S,
+    params: &ChaosParams,
+    layout: &Layout,
+    sched: impl FnOnce(&S) -> Option<SchedSnapshot>,
+) -> ChaosReport {
     let recorder = ChaosRecorder::new(system, params.threads);
     for addr in layout.all_addrs() {
         recorder.heap().store_direct(addr, layout.initial(addr));
@@ -354,6 +415,11 @@ fn run_on<S: TmSystem + 'static>(system: S, params: &ChaosParams, layout: &Layou
     // runs irrevocably and commits, bounding every failure streak. An
     // injected spurious verdict can abort even an irrevocable transaction,
     // so the bound only holds when injection does not falsify verdicts.
+    // The hybrid router is deliberately excluded: its retries alternate
+    // between engines, so the slow path's consecutive-abort escalation
+    // counter is not advanced by every failed attempt and the per-worker
+    // streak can legitimately exceed `irrevocable_after` (the harness-level
+    // ATTEMPT_CAP livelock check still applies).
     if params.backend == BackendKind::Rococo
         && params.faults != FaultPreset::Aggressive
         && max_failed_streak > params.irrevocable_after
@@ -384,16 +450,20 @@ fn run_on<S: TmSystem + 'static>(system: S, params: &ChaosParams, layout: &Layou
         max_failed_streak,
         injected: recorder.injected_faults(),
         abort_breakdown,
+        sched: sched(recorder.inner()),
         violations,
     }
 }
 
-/// Runs `base` across seeds and backends. Rococo runs each seed at every
-/// fault preset; other backends once per seed. Returns every report.
+/// Runs `base` across seeds and backends. Backends with an injectable
+/// validation service (Rococo, and Hybrid via its slow path) run each
+/// seed at every fault preset; the rest once per seed. Returns every
+/// report.
 pub fn sweep(base: &ChaosParams, seeds: &[u64], backends: &[BackendKind]) -> Vec<ChaosReport> {
     let mut reports = Vec::new();
     for &backend in backends {
-        let presets: &[FaultPreset] = if backend == BackendKind::Rococo {
+        let injectable = matches!(backend, BackendKind::Rococo | BackendKind::Hybrid);
+        let presets: &[FaultPreset] = if injectable {
             &[
                 FaultPreset::None,
                 FaultPreset::Timing,
@@ -517,6 +587,27 @@ mod tests {
         assert!(
             report.injected.is_some(),
             "rococo must surface fault counters"
+        );
+    }
+
+    #[test]
+    fn hybrid_passes_the_oracle_while_migrating_mid_retry() {
+        let report = run_chaos(&ChaosParams {
+            seed: 7,
+            backend: BackendKind::Hybrid,
+            threads: 4,
+            ops_per_thread: 150,
+            ..ChaosParams::default()
+        });
+        assert!(report.ok(), "{:?}", report.violations);
+        let sched = report.sched.expect("hybrid must surface sched counters");
+        assert!(
+            sched.migrations > 0,
+            "the tiny HTM write-set must force mid-retry migrations: {sched:?}"
+        );
+        assert!(
+            sched.commits_sw > 0,
+            "no commit on the slow path: {sched:?}"
         );
     }
 

@@ -158,6 +158,7 @@ fn service_config(
             kill,
         }),
         telemetry: None,
+        ..TxKvConfig::default()
     }
 }
 
@@ -181,6 +182,9 @@ pub fn run_recovery(params: &RecoveryParams) -> RecoveryRunReport {
         BackendKind::Htm => run_on(params, |cfg| Arc::new(TsxHtm::with_config(tm_cfg(cfg)))),
         BackendKind::Lock => run_on(params, |cfg| {
             Arc::new(GlobalLockTm::with_config(tm_cfg(cfg)))
+        }),
+        BackendKind::Hybrid => run_on(params, |cfg| {
+            Arc::new(rococo_sched::HybridTm::with_config(tm_cfg(cfg)))
         }),
         BackendKind::Seq => panic!("the sequential backend cannot run a multi-worker service"),
     }

@@ -19,6 +19,12 @@ pub const ATOMIC_CALLEES: &[&str] = &[
     "execute",
     "execute_seq",
     "try_submit",
+    // `rococo-sched` hybrid-router entry points: the routed closure is
+    // re-executed across *backends* (an attempt may start on the HTM
+    // fast path and retry on the software path), so side-effect hygiene
+    // matters doubly.
+    "run_classed",
+    "try_classed",
 ];
 
 /// One function item span (token index range of `name` + body braces).

@@ -1,0 +1,31 @@
+// Fixture: side effects inside hybrid-router routed closures.
+// Not compiled — consumed as text by tests/lint_rules.rs.
+//
+// `run_classed`/`try_classed` closures are re-executed across BACKENDS:
+// an attempt can start on the HTM fast path and retry on the software
+// path after a capacity abort, so their bodies are atomic regions.
+
+use rococo_sched::run_classed;
+use rococo_sched::try_classed as routed; // alias evasion must not work
+
+fn routed_macro(tm: &HybridTm) {
+    run_classed(tm, 0, 1, |tx| {
+        println!("routed attempt"); // line 13: I/O macro
+        tx.write(0, 1)
+    });
+}
+
+fn routed_clock(tm: &HybridTm) {
+    let (_, _seq) = routed(tm, 0, 2, &mut |tx| {
+        let t = Instant::now(); // line 20: clock read
+        tx.write(0, t.elapsed().as_nanos() as u64)
+    });
+}
+
+fn routed_clean(tm: &HybridTm) {
+    // Pure transactional body: reads, writes, arithmetic — no findings.
+    run_classed(tm, 0, 3, |tx| {
+        let v = tx.read(0)?;
+        tx.write(1, v + 1)
+    });
+}

@@ -54,6 +54,28 @@ fn atomic_side_effect_allows_clean_and_surrounding_code() {
 }
 
 #[test]
+fn atomic_side_effect_covers_hybrid_router_entry_points() {
+    // rococo-sched's run_classed/try_classed closures are re-executable
+    // across backends (HTM attempt, software retry) — the side-effect
+    // rule must treat them exactly like the core atomic primitives,
+    // aliases included.
+    let report = lint_one(
+        "atomic_side_effect_hybrid.rs",
+        "crates/demo/src/hybrid_user.rs",
+        false,
+    );
+    assert_eq!(
+        findings(&report),
+        vec![
+            ("atomic-side-effect", 13), // println! in run_classed
+            ("atomic-side-effect", 20), // Instant::now via the try_classed alias
+        ],
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
 fn atomic_side_effect_allowlists_telemetry_emission() {
     // tlm_event! args and rococo_telemetry::-pathed calls are exempt
     // (re-execution-safe by design); effects beside them are not.

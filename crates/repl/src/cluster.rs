@@ -144,6 +144,7 @@ impl ClusterConfig {
                 kill,
             }),
             telemetry: None,
+            ..TxKvConfig::default()
         }
     }
 }

@@ -1,0 +1,240 @@
+//! The contention-aware conflict table.
+//!
+//! Tracks *recent abort edges between scheduling classes* in a bounded,
+//! signature-approximate structure: each class keeps a bloom signature
+//! of its recently committed write sets ([`rococo_sigs::Sig`], the same
+//! scheme the FPGA validator uses), and an aborting transaction
+//! attributes its abort to every class whose write signature may
+//! intersect its own footprint signature. Attribution heats a dense
+//! `classes × classes` edge matrix; the periodic adapt step thresholds
+//! the matrix into *serialization groups* (connected components of hot
+//! edges) and assigns each group one admission token. Members of a hot
+//! group acquire the token for the execute window of every attempt, so
+//! conflicting classes take turns instead of retry-storming.
+//!
+//! Everything here is advisory: a stale group assignment or a bloom
+//! false positive only costs scheduling quality (an unnecessary wait or
+//! a missed serialization) — serializability is always enforced by the
+//! underlying engines.
+//!
+//! # Starvation
+//!
+//! Tokens are plain mutexes held only between route and the *first
+//! commit step* — never across a commit turn-wait, a verdict wait, or
+//! into a pending commit — and token acquire always precedes gate entry
+//! (tokens are never requested while a gate guard is held), so the
+//! token graph is a forest of depth one and cannot deadlock. Waiters
+//! make progress because every holder reaches its commit point without
+//! blocking: transactional reads abort on spin-budget overrun instead
+//! of waiting, and everything that *can* wait indefinitely (the dense
+//! commit-sequence turn-wait) runs after the token is released.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use parking_lot::{Mutex, MutexGuard};
+use rococo_sigs::{Sig, SigScheme};
+
+/// Group sentinel: the class is not in any serialization group.
+const NO_GROUP: u32 = u32::MAX;
+
+/// See the module docs.
+#[derive(Debug)]
+pub(crate) struct ConflictTable {
+    scheme: SigScheme,
+    n: usize,
+    /// Per-class signature of recently committed write sets; cleared
+    /// periodically by [`ConflictTable::adapt`] so stale footprints age
+    /// out.
+    write_sigs: Vec<Mutex<Sig>>,
+    /// `heat[a * n + b]`: recent aborts of class `a` attributed to class
+    /// `b`'s writes. Decayed by the adapt step.
+    heat: Vec<AtomicU32>,
+    /// Serialization group of each class (`NO_GROUP` or the group's
+    /// smallest class id, whose token the whole group shares).
+    group_of: Vec<AtomicU32>,
+    /// One potential admission token per class; only tokens of group
+    /// leaders are ever locked.
+    tokens: Vec<Mutex<()>>,
+}
+
+impl ConflictTable {
+    pub(crate) fn new(n: usize, scheme: SigScheme) -> Self {
+        Self {
+            write_sigs: (0..n).map(|_| Mutex::new(scheme.new_sig())).collect(),
+            heat: (0..n * n).map(|_| AtomicU32::new(0)).collect(),
+            group_of: (0..n).map(|_| AtomicU32::new(NO_GROUP)).collect(),
+            tokens: (0..n).map(|_| Mutex::new(())).collect(),
+            scheme,
+            n,
+        }
+    }
+
+    /// Folds a committed write footprint into the class's signature.
+    pub(crate) fn record_commit_writes(&self, class: usize, wsig: &Sig) {
+        self.write_sigs[class].lock().union_with(wsig);
+    }
+
+    /// Attributes one conflict abort of `class` (whose read+write
+    /// footprint signature is `sig`) to every class whose recent writes
+    /// may intersect it — including `class` itself: a class fighting
+    /// over its own hot keys is the most common case and is exactly what
+    /// a self-edge serializes.
+    pub(crate) fn attribute_abort(&self, class: usize, sig: &Sig) {
+        for other in 0..self.n {
+            // `try_lock`: attribution is best-effort and must never make
+            // the abort path wait on the scheduler.
+            let Some(wsig) = self.write_sigs[other].try_lock() else {
+                continue;
+            };
+            if self.scheme.sets_may_intersect(sig, &wsig) {
+                self.heat[class * self.n + other].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The admission token `class` must hold, if any.
+    pub(crate) fn token_for(&self, class: usize) -> Option<usize> {
+        let g = self.group_of[class].load(Ordering::Relaxed);
+        (g != NO_GROUP).then_some(g as usize)
+    }
+
+    /// Acquires group token `g`. Returns the guard and whether the
+    /// caller had to wait (deferral accounting).
+    pub(crate) fn acquire(&self, g: usize) -> (MutexGuard<'_, ()>, bool) {
+        match self.tokens[g].try_lock() {
+            Some(guard) => (guard, false),
+            None => (self.tokens[g].lock(), true),
+        }
+    }
+
+    /// Recomputes serialization groups from the heat matrix, then decays
+    /// it. Classes joined by an edge with combined heat ≥ `hot_threshold`
+    /// (or a self-edge at half weight — self-conflicts need no pair to
+    /// storm) land in one group keyed by the smallest member. Every 4th
+    /// epoch the write signatures are cleared so attribution tracks the
+    /// *recent* write sets, not all history.
+    pub(crate) fn adapt(&self, hot_threshold: u32, epoch: u64) {
+        let n = self.n;
+        let hot = |a: usize, b: usize| {
+            let h = self.heat[a * n + b].load(Ordering::Relaxed)
+                + self.heat[b * n + a].load(Ordering::Relaxed);
+            if a == b {
+                h >= hot_threshold.div_ceil(2).max(1)
+            } else {
+                h >= hot_threshold.max(1)
+            }
+        };
+        // Tiny-n union-find over hot edges.
+        let mut leader: Vec<usize> = (0..n).collect();
+        fn find(leader: &mut [usize], mut x: usize) -> usize {
+            while leader[x] != x {
+                leader[x] = leader[leader[x]];
+                x = leader[x];
+            }
+            x
+        }
+        let mut in_group = vec![false; n];
+        for a in 0..n {
+            if hot(a, a) {
+                in_group[a] = true;
+            }
+            for b in (a + 1)..n {
+                if hot(a, b) {
+                    in_group[a] = true;
+                    in_group[b] = true;
+                    let (ra, rb) = (find(&mut leader, a), find(&mut leader, b));
+                    let (lo, hi) = (ra.min(rb), ra.max(rb));
+                    leader[hi] = lo;
+                }
+            }
+        }
+        for c in 0..n {
+            let g = if in_group[find(&mut leader, c)] || in_group[c] {
+                find(&mut leader, c) as u32
+            } else {
+                NO_GROUP
+            };
+            self.group_of[c].store(g, Ordering::Relaxed);
+        }
+        for h in &self.heat {
+            let v = h.load(Ordering::Relaxed);
+            h.store(v / 2, Ordering::Relaxed);
+        }
+        if epoch % 4 == 3 {
+            for ws in &self.write_sigs {
+                if let Some(mut ws) = ws.try_lock() {
+                    ws.clear();
+                }
+            }
+        }
+    }
+
+    /// Number of classes currently inside some serialization group.
+    pub(crate) fn serialized_classes(&self) -> u32 {
+        self.group_of
+            .iter()
+            .map(|g| u32::from(g.load(Ordering::Relaxed) != NO_GROUP))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheme() -> SigScheme {
+        SigScheme::new(256, 4)
+    }
+
+    #[test]
+    fn hot_pair_forms_a_group_and_cold_classes_stay_out() {
+        let t = ConflictTable::new(4, scheme());
+        let mut w = t.scheme.new_sig();
+        t.scheme.insert(&mut w, 42);
+        t.record_commit_writes(1, &w);
+        let mut mine = t.scheme.new_sig();
+        t.scheme.insert(&mut mine, 42);
+        for _ in 0..16 {
+            t.attribute_abort(2, &mine);
+        }
+        t.adapt(8, 0);
+        assert_eq!(t.token_for(1), Some(1), "victim class joins the group");
+        assert_eq!(t.token_for(2), Some(1), "aborter shares the leader token");
+        assert_eq!(t.token_for(0), None);
+        assert_eq!(t.token_for(3), None);
+        assert_eq!(t.serialized_classes(), 2);
+    }
+
+    #[test]
+    fn self_conflicts_serialize_a_single_class() {
+        let t = ConflictTable::new(2, scheme());
+        let mut w = t.scheme.new_sig();
+        t.scheme.insert(&mut w, 7);
+        t.record_commit_writes(0, &w);
+        for _ in 0..8 {
+            t.attribute_abort(0, &w);
+        }
+        t.adapt(8, 0);
+        assert_eq!(t.token_for(0), Some(0));
+        assert_eq!(t.token_for(1), None);
+    }
+
+    #[test]
+    fn heat_decays_and_groups_dissolve() {
+        let t = ConflictTable::new(2, scheme());
+        let mut w = t.scheme.new_sig();
+        t.scheme.insert(&mut w, 9);
+        t.record_commit_writes(1, &w);
+        for _ in 0..8 {
+            t.attribute_abort(0, &w);
+        }
+        t.adapt(8, 0);
+        assert!(t.token_for(0).is_some());
+        // No further aborts: heat halves each epoch until the group melts.
+        for e in 1..8 {
+            t.adapt(8, e);
+        }
+        assert_eq!(t.token_for(0), None, "group dissolves once traffic cools");
+        assert_eq!(t.token_for(1), None);
+    }
+}

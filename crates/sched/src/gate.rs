@@ -1,0 +1,319 @@
+//! The mode gate: group mutual exclusion between the HTM and software
+//! engines, plus the per-mode commit-sequence rebasing that keeps the
+//! hybrid's durable sequence dense.
+//!
+//! # Why a gate at all
+//!
+//! The two wrapped engines detect conflicts through mechanisms that are
+//! blind to each other: the HTM emulation snoops its own line table
+//! eagerly, ROCoCoTM validates read/write signatures against its commit
+//! queue. A software commit would be invisible to a concurrently running
+//! hardware transaction and vice versa. The gate therefore admits
+//! transactions in *epochs*: at any instant every in-flight transaction
+//! (including software transactions whose validation verdict is still
+//! pending) runs on the same engine. This is the classic phased approach
+//! of hybrid TMs — cheap, and safe by construction.
+//!
+//! # Deadlock freedom
+//!
+//! A blocked `enter` holds no gate resource, and everything that *does*
+//! hold the gate makes progress without acquiring anything new:
+//!
+//! * HTM-mode guards are held only between `begin` and the submit point
+//!   (hardware commits settle synchronously at submit), so an HTM epoch
+//!   drains as soon as its runners stop being admitted.
+//! * Software-mode guards may additionally be parked inside pending
+//!   commits, but a worker holding software pendings can never be the
+//!   one waiting: its pendings pin the mode to software, and nobody
+//!   waits while the software mode is active (every transaction may run
+//!   on the software path).
+//!
+//! # Dense sequences across mode switches
+//!
+//! Both engines hand out their own dense `commit_seq` starting at 0. The
+//! hybrid maps an inner sequence to `base[mode] + inner`, where
+//! `base[mode]` is re-pinned at every mode switch (which happens under
+//! the gate mutex with zero active transactions) so that the mapped
+//! stream stays dense and monotone in serialization order — the WAL
+//! recovery invariant.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Which engine currently owns the epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// No transaction in flight; the next arrival picks the mode.
+    Idle,
+    /// Hardware (HTM-emulation) epoch.
+    Htm,
+    /// Software (ROCoCoTM) epoch.
+    Sw,
+}
+
+#[derive(Debug)]
+struct GateState {
+    mode: Mode,
+    /// Guards outstanding in the current epoch.
+    active: usize,
+    /// Blocked entrants (they wait only while an HTM epoch drains).
+    waiting: usize,
+    /// Owner of the previous non-idle epoch — the sequence-rebasing
+    /// reference for the next switch.
+    last_mode: Mode,
+}
+
+/// The two-engine admission gate. See the module docs.
+#[derive(Debug)]
+pub(crate) struct ModeGate {
+    state: Mutex<GateState>,
+    /// `hybrid_seq = base[mode] + inner_seq`. Written only at Idle→mode
+    /// transitions under the state mutex (no transaction in flight);
+    /// committers read it while holding a mode guard, and the mutex
+    /// release/acquire pair orders the write before every read of the
+    /// epoch it opens.
+    base_htm: AtomicU64,
+    base_sw: AtomicU64,
+    /// One past the highest inner sequence committed on each engine
+    /// (updated with `fetch_max` inside the commit bookkeeping, i.e.
+    /// before the committing transaction's guard is released).
+    granted_htm: AtomicU64,
+    granted_sw: AtomicU64,
+}
+
+/// Membership in the current epoch; dropping it retires the transaction
+/// from the gate (the last one out returns the gate to idle). The chosen
+/// engine is reported by `enter`'s return value — the guard itself only
+/// tracks membership.
+#[derive(Debug)]
+pub(crate) struct ModeGuard<'a> {
+    gate: &'a ModeGate,
+}
+
+impl Drop for ModeGuard<'_> {
+    fn drop(&mut self) {
+        let mut s = self.gate.state.lock();
+        s.active -= 1;
+        if s.active == 0 {
+            s.mode = Mode::Idle;
+        }
+    }
+}
+
+impl ModeGate {
+    pub(crate) fn new() -> Self {
+        Self {
+            state: Mutex::new(GateState {
+                mode: Mode::Idle,
+                active: 0,
+                waiting: 0,
+                last_mode: Mode::Idle,
+            }),
+            base_htm: AtomicU64::new(0),
+            base_sw: AtomicU64::new(0),
+            granted_htm: AtomicU64::new(0),
+            granted_sw: AtomicU64::new(0),
+        }
+    }
+
+    /// Admits one transaction. `want_htm` requests the HTM fast path;
+    /// the returned flag reports which engine actually admitted. An
+    /// HTM-eligible transaction is redirected to the software path
+    /// rather than blocked whenever the software mode is active (or a
+    /// software transaction is already waiting for the HTM epoch to
+    /// drain — redirecting keeps the drain short). The only blocking
+    /// case is waiting out a draining HTM epoch, which terminates
+    /// because draining epochs admit nobody.
+    ///
+    /// Returns `(guard, on_htm, waited)`.
+    pub(crate) fn enter(&self, want_htm: bool) -> (ModeGuard<'_>, bool, bool) {
+        let mut registered = false;
+        let mut waited = false;
+        loop {
+            let mut s = self.state.lock();
+            let others_waiting = s.waiting - usize::from(registered);
+            // Admission runs entirely under the state mutex: the rebase
+            // store must be ordered before any other entrant of the new
+            // epoch can read `base_*`.
+            let admit =
+                |mut s: parking_lot::MutexGuard<'_, GateState>, htm: bool, registered: bool| {
+                    s.active += 1;
+                    if registered {
+                        s.waiting -= 1;
+                    }
+                    s.mode = if htm { Mode::Htm } else { Mode::Sw };
+                    if s.last_mode != s.mode {
+                        s.last_mode = s.mode;
+                        self.rebase(s.mode);
+                    }
+                };
+            match s.mode {
+                Mode::Idle => {
+                    // Opening a new epoch. Software is always legal; the
+                    // fast path is taken only when this transaction wants
+                    // it and no other (possibly software-bound) waiter is
+                    // queued behind us.
+                    let htm = want_htm && others_waiting == 0;
+                    admit(s, htm, registered);
+                    return (ModeGuard { gate: self }, htm, waited);
+                }
+                Mode::Sw => {
+                    admit(s, false, registered);
+                    return (ModeGuard { gate: self }, false, waited);
+                }
+                Mode::Htm => {
+                    if want_htm && others_waiting == 0 {
+                        admit(s, true, registered);
+                        return (ModeGuard { gate: self }, true, waited);
+                    }
+                    // Wait for the HTM epoch to drain. We hold nothing
+                    // the drain depends on (see the module docs).
+                    if !registered {
+                        s.waiting += 1;
+                        registered = true;
+                    }
+                    waited = true;
+                    drop(s);
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Re-pins `base[to]` so the hybrid sequence stream continues densely
+    /// from wherever the previous epoch left off. Called under the state
+    /// mutex at a mode switch (so no transaction of either epoch is in
+    /// flight), and every committer of the new epoch acquires that mutex
+    /// in `enter` after us — ordering these plain stores before their
+    /// `map_seq` loads. The total sequences consumed so far is
+    /// `base[p] + granted[p]` of the previous mode `p`; the other mode's
+    /// pair is a stale (smaller) total from its last epoch, so the max
+    /// picks the right one without tracking `p` explicitly.
+    fn rebase(&self, to: Mode) {
+        debug_assert!(to != Mode::Idle);
+        let consumed_htm =
+            self.base_htm.load(Ordering::Relaxed) + self.granted_htm.load(Ordering::Relaxed);
+        let consumed_sw =
+            self.base_sw.load(Ordering::Relaxed) + self.granted_sw.load(Ordering::Relaxed);
+        let consumed = consumed_htm.max(consumed_sw);
+        match to {
+            Mode::Htm => self.base_htm.store(
+                consumed - self.granted_htm.load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            ),
+            Mode::Sw => self.base_sw.store(
+                consumed - self.granted_sw.load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            ),
+            Mode::Idle => unreachable!(),
+        }
+    }
+
+    /// Maps an engine-local commit sequence to the hybrid's dense global
+    /// sequence. Must be called while the committing transaction still
+    /// holds its mode guard (every caller does: the bookkeeping runs
+    /// before the guard is dropped).
+    pub(crate) fn map_seq(&self, on_htm: bool, inner: u64) -> u64 {
+        let (base, granted) = if on_htm {
+            (&self.base_htm, &self.granted_htm)
+        } else {
+            (&self.base_sw, &self.granted_sw)
+        };
+        granted.fetch_max(inner + 1, Ordering::Relaxed);
+        base.load(Ordering::Relaxed) + inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn htm_joins_htm_epoch_and_sw_waits() {
+        let gate = ModeGate::new();
+        let (g1, on1, w1) = gate.enter(true);
+        assert!(on1 && !w1);
+        let (g2, on2, _) = gate.enter(true);
+        assert!(on2, "second HTM-eligible joins the epoch");
+        drop(g1);
+        drop(g2);
+        let (g3, on3, _) = gate.enter(false);
+        assert!(!on3);
+        // HTM-eligible arrivals during a software epoch run software.
+        let (g4, on4, w4) = gate.enter(true);
+        assert!(!on4 && !w4, "eligible transaction redirected, not blocked");
+        drop(g3);
+        drop(g4);
+    }
+
+    #[test]
+    fn sequences_stay_dense_across_mode_flips() {
+        let gate = ModeGate::new();
+        let mut next_inner_htm = 0u64;
+        let mut next_inner_sw = 0u64;
+        let mut seen = Vec::new();
+        for round in 0..6 {
+            let htm = round % 2 == 0;
+            let (guard, on, _) = gate.enter(htm);
+            assert_eq!(on, htm);
+            for _ in 0..3 {
+                let inner = if on {
+                    let s = next_inner_htm;
+                    next_inner_htm += 1;
+                    s
+                } else {
+                    let s = next_inner_sw;
+                    next_inner_sw += 1;
+                    s
+                };
+                seen.push(gate.map_seq(on, inner));
+            }
+            drop(guard);
+        }
+        let expect: Vec<u64> = (0..seen.len() as u64).collect();
+        assert_eq!(seen, expect, "hybrid sequence must be dense and in order");
+    }
+
+    #[test]
+    fn concurrent_epochs_never_mix() {
+        use std::sync::atomic::{AtomicBool, AtomicUsize};
+        use std::sync::Arc;
+        let gate = Arc::new(ModeGate::new());
+        let in_htm = Arc::new(AtomicUsize::new(0));
+        let in_sw = Arc::new(AtomicUsize::new(0));
+        let mixed = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let gate = gate.clone();
+            let in_htm = in_htm.clone();
+            let in_sw = in_sw.clone();
+            let mixed = mixed.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    let want = (t + i) % 2 == 0;
+                    let (guard, on, _) = gate.enter(want);
+                    let (mine, other) = if on {
+                        (&in_htm, &in_sw)
+                    } else {
+                        (&in_sw, &in_htm)
+                    };
+                    mine.fetch_add(1, Ordering::SeqCst);
+                    if other.load(Ordering::SeqCst) > 0 {
+                        mixed.store(true, Ordering::SeqCst);
+                    }
+                    std::hint::spin_loop();
+                    mine.fetch_sub(1, Ordering::SeqCst);
+                    drop(guard);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            !mixed.load(Ordering::SeqCst),
+            "observed both engines active at once"
+        );
+    }
+}

@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod histogram;
 mod request;
 mod retry;
@@ -67,6 +68,7 @@ mod service;
 mod shard;
 mod stats;
 
+pub use backend::{AnyTxKv, BackendChoice};
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use request::{Key, Request, Response, TxKvError};
 pub use retry::RetryPolicy;

@@ -82,6 +82,25 @@ impl Request {
     pub fn is_read_only(&self) -> bool {
         matches!(self, Request::Get { .. } | Request::MultiGet { .. })
     }
+
+    /// Distinct scheduling classes [`Request::class`] can return.
+    pub const CLASSES: usize = 5;
+
+    /// The request's scheduling class — one per operation type, the tag a
+    /// hybrid router keys its footprint prediction on
+    /// ([`TmSystem::set_tx_class`](rococo_stm::TmSystem::set_tx_class)).
+    /// Op types make good classes because each has a characteristic
+    /// read/write-set shape: a `Get` touches one word, a `Transfer` four,
+    /// a `MultiGet` up to [`Request::MAX_MULTI_GET`].
+    pub fn class(&self) -> u32 {
+        match self {
+            Request::Get { .. } => 0,
+            Request::Put { .. } => 1,
+            Request::Add { .. } => 2,
+            Request::Transfer { .. } => 3,
+            Request::MultiGet { .. } => 4,
+        }
+    }
 }
 
 /// A successful request's result.

@@ -71,6 +71,11 @@ impl TelemetryConfig {
 /// Service configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TxKvConfig {
+    /// Which TM runtime executes requests. Only consulted by
+    /// [`AnyTxKv::start`](crate::AnyTxKv::start), which constructs the
+    /// backend from configuration; the generic [`TxKv::start`] takes the
+    /// already-built system and ignores this field.
+    pub backend: crate::BackendChoice,
     /// Number of shards (request queues). Requests are hash-routed by
     /// primary key; sharding partitions the queueing and the statistics,
     /// not the data — all shards execute against one shared TM heap, so
@@ -114,6 +119,7 @@ impl PartialEq for DurabilityConfig {
 impl Default for TxKvConfig {
     fn default() -> Self {
         Self {
+            backend: crate::BackendChoice::default(),
             shards: 4,
             workers_per_shard: 2,
             queue_capacity: 128,
@@ -237,10 +243,16 @@ fn scrape_metrics<S: TmSystem + ?Sized>(
     };
     let mut reg = rococo_telemetry::MetricsRegistry::new();
     report.export_metrics(&mut reg);
-    system.stats().snapshot().export_metrics(&mut reg);
+    // `stats_snapshot` (not `stats().snapshot()`): a routing backend
+    // merges the counters only its wrapped engines track into one
+    // snapshot, with starts/commits/aborts counted exactly once at the
+    // outer layer — so `rococo_tm_*` never double-counts a commit.
+    system.stats_snapshot().export_metrics(&mut reg);
     if let Some(engine) = system.engine_stats() {
         engine.export_metrics(&mut reg);
     }
+    // Backend-specific families (e.g. the hybrid's `rococo_sched_*`).
+    system.export_extra_metrics(&mut reg);
     let _ = std::fs::create_dir_all(dir);
     let _ = write_atomic(dir, "metrics.prom", &reg.render_prometheus());
     let _ = write_atomic(dir, "metrics.json", &reg.render_json());
@@ -723,91 +735,96 @@ mod tests {
         smoke(Arc::new(RococoTm::with_config(tm_cfg)), cfg);
     }
 
+    const KEYS: u64 = 8;
+    const SEED_BAL: u64 = 100;
+
+    /// The bank-conservation + write-skew oracle: concurrent conditional
+    /// transfers may never create or destroy money and may never overdraw
+    /// a balance (a skewed pair of transfers would wrap a `u64` balance
+    /// to an enormous value, failing the bound check). Returns the final
+    /// report for backend-specific assertions.
+    fn bank<S: TmSystem + 'static>(system: Arc<S>, cfg: TxKvConfig) -> TxKvReport {
+        let kv = Arc::new(TxKv::start(system, cfg).unwrap());
+        for k in 0..KEYS {
+            kv.call(Request::Put {
+                key: k,
+                value: SEED_BAL,
+            })
+            .unwrap();
+        }
+        // Pipelined clients: each keeps a window of transfers in
+        // flight so shard workers actually form multi-job batches.
+        let mut clients = Vec::new();
+        for c in 0..3u64 {
+            let kv = Arc::clone(&kv);
+            clients.push(std::thread::spawn(move || {
+                let mut window = std::collections::VecDeque::new();
+                for i in 0..300u64 {
+                    let from = (c * 3 + i) % KEYS;
+                    let to = (c + i * 7 + 1) % KEYS;
+                    if from == to {
+                        continue;
+                    }
+                    let req = Request::Transfer {
+                        from,
+                        to,
+                        amount: 1 + i % 5,
+                    };
+                    loop {
+                        match kv.submit(req.clone()) {
+                            Ok(pending) => {
+                                window.push_back(pending);
+                                break;
+                            }
+                            Err(TxKvError::Overloaded { .. }) => std::thread::yield_now(),
+                            Err(e) => panic!("transfer rejected: {e}"),
+                        }
+                    }
+                    if window.len() >= 16 {
+                        window.pop_front().unwrap().wait().unwrap();
+                    }
+                }
+                for pending in window {
+                    pending.wait().unwrap();
+                }
+            }));
+        }
+        for c in clients {
+            c.join().unwrap();
+        }
+        let balances = match kv
+            .call(Request::MultiGet {
+                keys: (0..KEYS).collect(),
+            })
+            .unwrap()
+        {
+            Response::Values(v) => v,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        let total: u64 = balances.iter().sum();
+        assert_eq!(
+            total,
+            KEYS * SEED_BAL,
+            "bank conservation violated: {balances:?}"
+        );
+        assert!(
+            balances.iter().all(|&b| b <= KEYS * SEED_BAL),
+            "write skew overdrew a balance (u64 wrap): {balances:?}"
+        );
+        let report = Arc::try_unwrap(kv).ok().unwrap().shutdown();
+        assert_eq!(report.aggregate.failed, 0);
+        assert!(report.aggregate.batches > 0);
+        // Every job runs inside some batch, so the job counter can
+        // never lag the batch counter.
+        assert!(report.aggregate.batch_jobs >= report.aggregate.batches);
+        report
+    }
+
     /// The batched commit path (`max_batch > 1` with pipelined
     /// submissions) must be serializable exactly like the one-at-a-time
-    /// path: concurrent conditional transfers may never create or destroy
-    /// money (conservation) and may never overdraw a balance under a
-    /// write-skew anomaly (a skewed pair of transfers would wrap a `u64`
-    /// balance to an enormous value, failing the bound check).
+    /// path, on every static backend.
     #[test]
     fn batched_commits_preserve_invariants_on_every_backend() {
-        const KEYS: u64 = 8;
-        const SEED_BAL: u64 = 100;
-        fn bank<S: TmSystem + 'static>(system: Arc<S>, cfg: TxKvConfig) {
-            let kv = Arc::new(TxKv::start(system, cfg).unwrap());
-            for k in 0..KEYS {
-                kv.call(Request::Put {
-                    key: k,
-                    value: SEED_BAL,
-                })
-                .unwrap();
-            }
-            // Pipelined clients: each keeps a window of transfers in
-            // flight so shard workers actually form multi-job batches.
-            let mut clients = Vec::new();
-            for c in 0..3u64 {
-                let kv = Arc::clone(&kv);
-                clients.push(std::thread::spawn(move || {
-                    let mut window = std::collections::VecDeque::new();
-                    for i in 0..300u64 {
-                        let from = (c * 3 + i) % KEYS;
-                        let to = (c + i * 7 + 1) % KEYS;
-                        if from == to {
-                            continue;
-                        }
-                        let req = Request::Transfer {
-                            from,
-                            to,
-                            amount: 1 + i % 5,
-                        };
-                        loop {
-                            match kv.submit(req.clone()) {
-                                Ok(pending) => {
-                                    window.push_back(pending);
-                                    break;
-                                }
-                                Err(TxKvError::Overloaded { .. }) => std::thread::yield_now(),
-                                Err(e) => panic!("transfer rejected: {e}"),
-                            }
-                        }
-                        if window.len() >= 16 {
-                            window.pop_front().unwrap().wait().unwrap();
-                        }
-                    }
-                    for pending in window {
-                        pending.wait().unwrap();
-                    }
-                }));
-            }
-            for c in clients {
-                c.join().unwrap();
-            }
-            let balances = match kv
-                .call(Request::MultiGet {
-                    keys: (0..KEYS).collect(),
-                })
-                .unwrap()
-            {
-                Response::Values(v) => v,
-                other => panic!("unexpected reply {other:?}"),
-            };
-            let total: u64 = balances.iter().sum();
-            assert_eq!(
-                total,
-                KEYS * SEED_BAL,
-                "bank conservation violated: {balances:?}"
-            );
-            assert!(
-                balances.iter().all(|&b| b <= KEYS * SEED_BAL),
-                "write skew overdrew a balance (u64 wrap): {balances:?}"
-            );
-            let report = Arc::try_unwrap(kv).ok().unwrap().shutdown();
-            assert_eq!(report.aggregate.failed, 0);
-            assert!(report.aggregate.batches > 0);
-            // Every job runs inside some batch, so the job counter can
-            // never lag the batch counter.
-            assert!(report.aggregate.batch_jobs >= report.aggregate.batches);
-        }
         let cfg = TxKvConfig {
             shards: 2,
             workers_per_shard: 2,
@@ -822,6 +839,103 @@ mod tests {
         bank(Arc::new(TinyStm::with_config(tm_cfg)), cfg.clone());
         bank(Arc::new(TsxHtm::with_config(tm_cfg)), cfg.clone());
         bank(Arc::new(RococoTm::with_config(tm_cfg)), cfg);
+    }
+
+    /// A [`HybridTm`](rococo_sched::HybridTm) whose HTM fast path is too
+    /// small for any multi-word write set: one direct-mapped write-set
+    /// entry at word granularity, so every `Transfer` (four writes)
+    /// capacity-aborts its first HTM attempt and must migrate mid-retry
+    /// to the software path.
+    fn migratory_hybrid(cfg: &TxKvConfig) -> Arc<rococo_sched::HybridTm> {
+        use rococo_stm::HtmConfig;
+        Arc::new(rococo_sched::HybridTm::with_configs(
+            rococo_sched::HybridConfig {
+                tm: TmConfig {
+                    heap_words: cfg.heap_words(),
+                    max_threads: cfg.worker_threads(),
+                },
+                htm: HtmConfig {
+                    line_shift: 0,
+                    write_sets: 1,
+                    write_ways: 1,
+                    read_capacity: 4096,
+                    max_attempts: 5,
+                },
+                classes: crate::request::Request::CLASSES,
+                cooldown: 8,
+                strike_limit: 2,
+                ..rococo_sched::HybridConfig::default()
+            },
+        ))
+    }
+
+    /// The serializability oracle must hold on the hybrid router even
+    /// when attempts migrate backends mid-retry: transfers overflow the
+    /// deliberately tiny HTM write set, capacity-abort, and re-route to
+    /// the software path with their balance invariants intact.
+    #[test]
+    fn hybrid_bank_survives_forced_mid_retry_migration() {
+        let cfg = TxKvConfig {
+            shards: 2,
+            workers_per_shard: 2,
+            keys: 32,
+            max_batch: 8,
+            ..TxKvConfig::default()
+        };
+        let tm = migratory_hybrid(&cfg);
+        bank(Arc::clone(&tm), cfg);
+        let sched = tm.sched_snapshot();
+        assert!(
+            sched.migrations > 0,
+            "transfers never migrated HTM -> software: {sched:?}"
+        );
+        assert!(
+            sched.commits_sw > 0,
+            "no commit ever retired on the slow path: {sched:?}"
+        );
+    }
+
+    /// Satellite check for the stats plumbing: the shard report, the
+    /// outer [`TmSystem`] stats snapshot, and the scheduler's per-path
+    /// commit counters must all agree on the number of commits — and the
+    /// rendered registry must carry `rococo_tm_commits_total` exactly
+    /// once (no double-counting from the wrapped engines).
+    #[test]
+    fn hybrid_commit_counts_agree_across_all_three_surfaces() {
+        let cfg = TxKvConfig {
+            shards: 2,
+            workers_per_shard: 2,
+            keys: 32,
+            max_batch: 8,
+            ..TxKvConfig::default()
+        };
+        let tm = migratory_hybrid(&cfg);
+        let report = bank(Arc::clone(&tm), cfg);
+        // Surface 1 vs 2: every committed request is exactly one TM
+        // commit (bank asserts failed == 0, and nothing else ran
+        // transactions on this TM instance).
+        let snap = tm.stats_snapshot();
+        assert_eq!(report.aggregate.committed, snap.commits);
+        // Surface 3: the scheduler's per-path split partitions the total.
+        let sched = tm.sched_snapshot();
+        assert_eq!(snap.commits, sched.commits_htm + sched.commits_sw);
+        // The exported registry shows one commit counter, with the same
+        // value — the wrapped engines' own counters must not leak in.
+        let mut reg = rococo_telemetry::MetricsRegistry::new();
+        snap.export_metrics(&mut reg);
+        tm.export_extra_metrics(&mut reg);
+        let rendered = reg.render_prometheus();
+        let commit_lines: Vec<&str> = rendered
+            .lines()
+            .filter(|l| l.starts_with("rococo_tm_commits_total"))
+            .collect();
+        assert_eq!(
+            commit_lines,
+            vec![format!("rococo_tm_commits_total {}", snap.commits).as_str()],
+            "commit counter must render exactly once"
+        );
+        // The hybrid-only counters rode along under their own prefix.
+        assert!(rendered.contains("rococo_sched_routes_total"));
     }
 
     /// Open-loop smoke: a tiny queue flooded faster than one worker can

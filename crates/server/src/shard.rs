@@ -197,6 +197,9 @@ impl<'a, S: TmSystem + ?Sized> WorkerEnv<'a, S> {
     /// backend's `begin` may escalate to the exclusive commit gate, which
     /// would deadlock against this worker's own read guards.
     fn run_sync(&self, rng: &mut u64, job: Job, prior_attempts: u32) {
+        // Re-tag: another job's transaction may have run on this thread
+        // since the asynchronous attempt.
+        self.system.set_tx_class(self.thread_id, job.req.class());
         let mut writes: Vec<(u64, u64)> = Vec::new();
         let result = catch_unwind(AssertUnwindSafe(|| {
             self.policy.execute_seq(
@@ -337,6 +340,10 @@ pub(crate) fn run_worker<S: TmSystem + ?Sized>(ctx: WorkerCtx<S>) {
 
         let pause_guard = pause.read();
         for job in batch.drain(..) {
+            // Tag the transaction with the op-type scheduling class
+            // before it begins — a no-op on non-routing backends, the
+            // router's footprint-prediction key on the hybrid.
+            env.system.set_tx_class(thread_id, job.req.class());
             let mut writes: Vec<(u64, u64)> = Vec::new();
             let submitted = catch_unwind(AssertUnwindSafe(|| {
                 try_submit(env.system, thread_id, &mut |tx| {
@@ -358,6 +365,7 @@ pub(crate) fn run_worker<S: TmSystem + ?Sized>(ctx: WorkerCtx<S>) {
                     // writer on the commit gate). Settle the outstanding
                     // pendings first so the blocking commit cannot
                     // deadlock against our own read guards.
+                    stats.deferred.fetch_add(1, Ordering::Relaxed);
                     env.drain(&mut rng, &mut inflight);
                     match catch_unwind(AssertUnwindSafe(|| commit_deferred(env.system, tx))) {
                         Ok(Ok(seq)) => {

@@ -15,6 +15,10 @@ pub struct ShardStats {
     pub(crate) enqueued: AtomicU64,
     /// Requests shed by admission control (queue full).
     pub(crate) shed: AtomicU64,
+    /// Requests whose commit the backend deferred to the synchronous
+    /// path (irrevocable escalation, commit-gate contention, or a hybrid
+    /// router hand-off) — completed inline, distinct from `shed`.
+    pub(crate) deferred: AtomicU64,
     /// Requests whose transaction committed.
     pub(crate) committed: AtomicU64,
     /// Requests that failed (retries exhausted).
@@ -68,6 +72,7 @@ impl ShardStats {
         ShardSnapshot {
             enqueued: self.enqueued.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            deferred: self.deferred.load(Ordering::Relaxed),
             committed: self.committed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
@@ -89,6 +94,10 @@ pub struct ShardSnapshot {
     pub enqueued: u64,
     /// Requests shed by admission control (queue full).
     pub shed: u64,
+    /// Requests whose commit the backend deferred to the synchronous
+    /// path (irrevocable escalation, commit-gate contention, or a hybrid
+    /// router hand-off) — completed inline, distinct from `shed`.
+    pub deferred: u64,
     /// Requests whose transaction committed.
     pub committed: u64,
     /// Requests that failed (retries exhausted).
@@ -144,6 +153,12 @@ impl ShardSnapshot {
             "Requests shed by admission control",
             labels,
             self.shed,
+        );
+        reg.counter(
+            "rococo_txkv_deferred_total",
+            "Requests whose commit the backend deferred to the synchronous path",
+            labels,
+            self.deferred,
         );
         reg.counter(
             "rococo_txkv_committed_total",
@@ -217,6 +232,7 @@ impl ShardSnapshot {
     pub fn merge(&mut self, other: &ShardSnapshot) {
         self.enqueued += other.enqueued;
         self.shed += other.shed;
+        self.deferred += other.deferred;
         self.committed += other.committed;
         self.failed += other.failed;
         self.retries += other.retries;
@@ -311,13 +327,15 @@ impl fmt::Display for TxKvReport {
         let a = &self.aggregate;
         writeln!(
             f,
-            "txkv[{}] {} shards, {:.2}s: {} committed ({:.0} req/s), {} shed, {} failed, {} retries",
+            "txkv[{}] {} shards, {:.2}s: {} committed ({:.0} req/s), {} shed, {} deferred, \
+             {} failed, {} retries",
             self.backend,
             self.per_shard.len(),
             self.elapsed.as_secs_f64(),
             a.committed,
             self.throughput(),
             a.shed,
+            a.deferred,
             a.failed,
             a.retries,
         )?;

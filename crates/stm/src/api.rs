@@ -280,6 +280,31 @@ pub trait TmSystem: Send + Sync {
     fn engine_stats(&self) -> Option<rococo_fpga::EngineStats> {
         None
     }
+
+    /// Tags the transactions worker `thread_id` begins next with a
+    /// scheduling class. Plain backends ignore the tag; the hybrid
+    /// scheduler keys footprint prediction and conflict serialization on
+    /// it. Calling this is not a transactional side effect — it is safe
+    /// (if pointless) to call between retries of the same request.
+    fn set_tx_class(&self, _thread_id: usize, _class: u32) {}
+
+    /// A coherent statistics view for reporting. The default reads
+    /// [`TmSystem::stats`] directly. Composite systems override this to
+    /// fold in backend-internal counters (fallback/read-only commits,
+    /// validation timings) that the generic entry points only ever bump
+    /// on the *inner* backends' stats — without touching starts, commits
+    /// or aborts, which the entry points bump exactly once on the outer
+    /// stats.
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats().snapshot()
+    }
+
+    /// Exports backend-specific metric families beyond `rococo_tm_*`
+    /// into `reg`. The default exports nothing; the hybrid scheduler
+    /// publishes its `rococo_sched_*` router counters through this hook
+    /// (the service scraper cannot name the sched crate without a
+    /// dependency cycle).
+    fn export_extra_metrics(&self, _reg: &mut rococo_telemetry::MetricsRegistry) {}
 }
 
 /// Runs `body` as a transaction on `system`, retrying on abort with

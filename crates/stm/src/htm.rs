@@ -25,6 +25,7 @@ use crate::heap::{Addr, TmHeap, Word};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// HTM-specific tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,7 +66,7 @@ struct LineEntry {
 /// The emulated best-effort HTM.
 #[derive(Debug)]
 pub struct TsxHtm {
-    heap: TmHeap,
+    heap: Arc<TmHeap>,
     stats: TmStats,
     config: HtmConfig,
     lines: Vec<LineEntry>,
@@ -99,13 +100,27 @@ impl TsxHtm {
     ///
     /// Panics if `config.max_threads > 64`.
     pub fn with_configs(config: TmConfig, htm: HtmConfig) -> Self {
+        let heap = Arc::new(TmHeap::new(config.heap_words));
+        Self::with_shared_heap(config, htm, heap)
+    }
+
+    /// Creates an emulated HTM over a caller-provided heap. The hybrid
+    /// scheduler uses this so the HTM fast path and the ROCoCoTM slow
+    /// path operate on the same words (the coherence model still only
+    /// sees HTM-side accesses — the hybrid's mode gate keeps the two
+    /// engines from running concurrently).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_threads > 64`.
+    pub fn with_shared_heap(config: TmConfig, htm: HtmConfig, heap: Arc<TmHeap>) -> Self {
         assert!(
             config.max_threads <= 64,
             "the HTM emulation supports at most 64 threads"
         );
-        let n_lines = (config.heap_words >> htm.line_shift) + 1;
+        let n_lines = (heap.len() >> htm.line_shift) + 1;
         Self {
-            heap: TmHeap::new(config.heap_words),
+            heap,
             stats: TmStats::default(),
             config: htm,
             lines: (0..n_lines)

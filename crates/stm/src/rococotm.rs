@@ -31,6 +31,7 @@ use rococo_fpga::{
 use rococo_sigs::{ChunkedSig, PrehashedAddr, Sig, SigScheme};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// ROCoCoTM-specific configuration.
@@ -110,7 +111,7 @@ struct Scratch {
 /// The ROCoCoTM runtime.
 #[derive(Debug)]
 pub struct RococoTm {
-    heap: TmHeap,
+    heap: Arc<TmHeap>,
     stats: TmStats,
     config: RococoConfig,
     scheme: SigScheme,
@@ -154,6 +155,19 @@ impl RococoTm {
     ///
     /// Panics if `queue_len < window` or any size is zero.
     pub fn with_configs(config: RococoConfig) -> Self {
+        let heap = Arc::new(TmHeap::new(config.tm.heap_words));
+        Self::with_shared_heap(config, heap)
+    }
+
+    /// Creates a ROCoCoTM over a caller-provided heap. The hybrid
+    /// scheduler uses this so the ROCoCoTM slow path shares its words
+    /// with the HTM fast path (the hybrid's mode gate keeps the two
+    /// engines from validating concurrently).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_len < window` or any size is zero.
+    pub fn with_shared_heap(config: RococoConfig, heap: Arc<TmHeap>) -> Self {
         assert!(
             config.queue_len >= config.window,
             "commit queue must cover at least one window"
@@ -168,7 +182,7 @@ impl RococoTm {
         );
         let handle = service.handle();
         Self {
-            heap: TmHeap::new(config.tm.heap_words),
+            heap,
             stats: TmStats::default(),
             scheme: scheme.clone(),
             global_ts: AtomicU64::new(0),

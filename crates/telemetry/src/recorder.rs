@@ -143,6 +143,22 @@ pub enum TxEvent {
         /// Index of the follower elected as the new primary.
         elected: u32,
     },
+    /// The hybrid scheduler routed a transaction attempt to a backend.
+    Route {
+        /// The caller-supplied scheduling class of the transaction.
+        class: u32,
+        /// `"htm"` or `"sw"` — the path the router chose.
+        path: &'static str,
+    },
+    /// The hybrid scheduler made a transaction wait before admission
+    /// (conflict-serialization token or backend mode drain).
+    RouteDefer {
+        /// The caller-supplied scheduling class of the transaction.
+        class: u32,
+        /// `"token"` (conflict serialization) or `"mode-drain"` (waiting
+        /// for the other engine's transactions to retire).
+        reason: &'static str,
+    },
 }
 
 impl TxEvent {
@@ -166,6 +182,8 @@ impl TxEvent {
             TxEvent::ReplShip { .. } => "repl-ship",
             TxEvent::ReplApply { .. } => "repl-apply",
             TxEvent::Failover { .. } => "failover",
+            TxEvent::Route { .. } => "route",
+            TxEvent::RouteDefer { .. } => "route-defer",
         }
     }
 }

@@ -423,6 +423,22 @@ pub fn build_tx_trace(events: &[EventRecord], lanes: &[(u32, String)]) -> String
                     ts,
                     &[("epoch", epoch.into()), ("elected", elected.into())],
                 ),
+                TxEvent::Route { class, path } => tb.instant(
+                    "route",
+                    "sched",
+                    TX_PID,
+                    lane,
+                    ts,
+                    &[("class", class.into()), ("path", path.into())],
+                ),
+                TxEvent::RouteDefer { class, reason } => tb.instant(
+                    "route-defer",
+                    "sched",
+                    TX_PID,
+                    lane,
+                    ts,
+                    &[("class", class.into()), ("reason", reason.into())],
+                ),
                 TxEvent::ReadSet { .. } | TxEvent::WriteSet { .. } => {
                     tb.instant(
                         e.event.name(),

@@ -24,6 +24,7 @@
 //! | [`wal`] | `rococo-wal` | write-ahead log: group commit, checkpoints, torn-tail recovery, crash-point injection |
 //! | [`repl`] | `rococo-repl` | WAL-shipped replication: primary/follower clusters, watermark-gated follower reads, deterministic fail-over |
 //! | [`telemetry`] | `rococo-telemetry` | observability: metrics registry (Prometheus/JSON), transaction flight recorder, Perfetto trace export |
+//! | [`sched`] | `rococo-sched` | adaptive hybrid router: HTM fast path under a limited-set bound, ROCoCoTM slow path, contention-aware conflict serialization |
 //!
 //! # Quickstart
 //!
@@ -49,6 +50,7 @@ pub use rococo_cc as cc;
 pub use rococo_core as core;
 pub use rococo_fpga as fpga;
 pub use rococo_repl as repl;
+pub use rococo_sched as sched;
 pub use rococo_server as server;
 pub use rococo_sigs as sigs;
 pub use rococo_sim as sim;
