@@ -26,9 +26,11 @@
 #                      #   metrics must pass telemetry_check --sched
 #
 # The nightly job sets CHAOS_EXTENDED=1, which widens the stress tier to
-# the full seed sweep and the hostile commit-queue geometries, and
+# the full seed sweep and the hostile commit-queue geometries,
 # REPL_EXTENDED=1, which widens the replication tier to every
-# service-capable backend with longer runs.
+# service-capable backend with longer runs, and LINT_EXTENDED=1, which
+# re-runs the linter's interprocedural pass with the summary fixpoint
+# solved twice and compared (nondeterminism tripwire).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -57,10 +59,18 @@ echo "== cargo clippy (workspace, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== rococo-lint (TM-safety invariants; per-rule timing below)"
-cargo run --release -q -p rococo-lint -- --root .
+# The run is the gate: any diagnostic — including an unused or
+# malformed suppression — exits nonzero. The SARIF log is the CI
+# annotation artifact.
+cargo run --release -q -p rococo-lint -- --root . --sarif LINT_report.sarif
+echo "wrote LINT_report.sarif"
 if [[ "$LINT_JSON" == "1" ]]; then
   cargo run --release -q -p rococo-lint -- --root . --json > LINT_report.json
   echo "wrote LINT_report.json"
+fi
+if [[ "${LINT_EXTENDED:-0}" == "1" ]]; then
+  echo "== rococo-lint extended (interprocedural summaries re-solved; fixpoint must agree)"
+  cargo run --release -q -p rococo-lint -- --root . --verify-fixpoint
 fi
 
 echo "== tier-1: release build + tests"

@@ -1,0 +1,230 @@
+//! Name-based call graph over the resolved function spans.
+//!
+//! The lexer has no type information, so calls are resolved by *name*:
+//! a call site `foo(..)` or `recv.foo(..)` links to every function item
+//! named `foo` anywhere in the workspace. That conflates same-named
+//! functions across types (documented limit, see DESIGN.md §7.6) but is
+//! conservative in the direction the blocking rules need: a summary can
+//! only gain may-block/may-acquire facts from the conflation, never
+//! lose them.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokKind;
+use crate::model::FileModel;
+
+/// Keywords that look like `ident (` call sites but are not calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "loop", "for", "in", "match", "return", "break", "continue", "let",
+    "mut", "ref", "move", "as", "fn", "pub", "use", "mod", "where", "impl", "dyn", "struct",
+    "enum", "union", "trait", "type", "const", "static", "crate", "super", "unsafe", "await",
+    "box", "yield",
+];
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name: the last path segment or the method name.
+    pub name: String,
+    /// Token index of the callee identifier.
+    pub tok: usize,
+    /// For method calls `recv.name(..)`: the receiver's final
+    /// identifier (`self.tokens[g].lock()` records `tokens`).
+    pub recv: Option<String>,
+}
+
+/// Matching-delimiter map for one file: `open[i]` is the token index of
+/// the delimiter closing the one opened at `i` (and vice versa for
+/// `close`), or `usize::MAX` when unmatched/not a delimiter.
+#[derive(Debug)]
+pub struct DelimMap {
+    /// Opening token index → closing token index.
+    pub open: Vec<usize>,
+    /// Closing token index → opening token index.
+    pub close: Vec<usize>,
+}
+
+/// Matches `(`/`[`/`{` pairs over the whole token stream.
+pub fn match_delims(file: &FileModel) -> DelimMap {
+    let n = file.toks.len();
+    let mut open = vec![usize::MAX; n];
+    let mut close = vec![usize::MAX; n];
+    let mut stack: Vec<(u8, usize)> = Vec::new();
+    for (i, tok) in file.toks.iter().enumerate() {
+        match tok.kind {
+            TokKind::Punct(p @ (b'(' | b'[' | b'{')) => stack.push((p, i)),
+            TokKind::Punct(p @ (b')' | b']' | b'}')) => {
+                let want = match p {
+                    b')' => b'(',
+                    b']' => b'[',
+                    _ => b'{',
+                };
+                // Pop past any unclosed delimiters of another kind
+                // (malformed input; the lexer does not reject it).
+                while let Some(&(got, at)) = stack.last() {
+                    stack.pop();
+                    if got == want {
+                        open[at] = i;
+                        close[i] = at;
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    DelimMap { open, close }
+}
+
+/// Extracts the call sites of one function body (`start..=end` token
+/// range, exclusive of the body braces themselves).
+pub fn call_sites(file: &FileModel, delims: &DelimMap, start: usize, end: usize) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    for i in (start + 1)..end {
+        if file.toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = file.text(i);
+        if NON_CALL_KEYWORDS.contains(&name) {
+            continue;
+        }
+        // Definitions are not call sites.
+        if i > 0 && file.is_ident(i - 1, "fn") {
+            continue;
+        }
+        // Macro invocations (`name!(..)`) are not tracked as calls; the
+        // tokens inside their arguments still are.
+        if file.is_punct(i + 1, b'!') {
+            continue;
+        }
+        // Skip an optional turbofish between the name and the `(`.
+        let mut j = i + 1;
+        if file.is_punct(j, b':') && file.is_punct(j + 1, b':') && file.is_punct(j + 2, b'<') {
+            let mut angle = 1usize;
+            j += 3;
+            while j < end && angle > 0 {
+                if file.is_punct(j, b'<') {
+                    angle += 1;
+                } else if file.is_punct(j, b'>') {
+                    angle -= 1;
+                }
+                j += 1;
+            }
+        }
+        if !file.is_punct(j, b'(') {
+            continue;
+        }
+        let recv = if file.is_punct(i.wrapping_sub(1), b'.') {
+            receiver_name(file, delims, i - 1)
+        } else {
+            None
+        };
+        out.push(CallSite {
+            name: name.to_string(),
+            tok: i,
+            recv,
+        });
+    }
+    out
+}
+
+/// The final identifier of a method receiver, walking back over one
+/// index/call suffix: for `self.tokens[g].lock()` (dot at `dot`),
+/// returns `tokens`.
+fn receiver_name(file: &FileModel, delims: &DelimMap, dot: usize) -> Option<String> {
+    let mut i = dot.checked_sub(1)?;
+    // Jump over a trailing `[..]` or `(..)` group.
+    if file.is_punct(i, b']') || file.is_punct(i, b')') {
+        let open = delims.close[i];
+        if open == usize::MAX {
+            return None;
+        }
+        i = open.checked_sub(1)?;
+    }
+    (file.toks.get(i).is_some_and(|t| t.kind == TokKind::Ident)
+        && !NON_CALL_KEYWORDS.contains(&file.text(i)))
+    .then(|| file.text(i).to_string())
+}
+
+/// The workspace call graph: call sites per function plus the
+/// name-indexed definition map.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `calls[file][fn]` — parallel to `models[file].fns`.
+    pub calls: Vec<Vec<Vec<CallSite>>>,
+    /// Function name → definition sites `(file, fn)`.
+    pub defs: BTreeMap<String, Vec<(usize, usize)>>,
+    /// Number of resolved call edges (call site → known definition
+    /// name; conflated names count once per site).
+    pub edges: usize,
+}
+
+impl CallGraph {
+    /// Builds the graph over all files. `delims[i]` must correspond to
+    /// `models[i]`.
+    pub fn build(models: &[FileModel], delims: &[DelimMap]) -> Self {
+        let mut defs: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();
+        for (fi, m) in models.iter().enumerate() {
+            for (ni, f) in m.fns.iter().enumerate() {
+                defs.entry(f.name.clone()).or_default().push((fi, ni));
+            }
+        }
+        let mut calls = Vec::with_capacity(models.len());
+        let mut edges = 0usize;
+        for (fi, m) in models.iter().enumerate() {
+            let mut per_fn = Vec::with_capacity(m.fns.len());
+            for f in &m.fns {
+                let sites = call_sites(m, &delims[fi], f.start, f.end);
+                edges += sites.iter().filter(|s| defs.contains_key(&s.name)).count();
+                per_fn.push(sites);
+            }
+            calls.push(per_fn);
+        }
+        Self { calls, defs, edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::build("test.rs".into(), src.into(), false)
+    }
+
+    #[test]
+    fn call_sites_resolve_receivers_through_index_suffixes() {
+        let m = model("fn f(&self) { self.tokens[g].lock(); helper(x); self.gate.enter(true); }");
+        let d = match_delims(&m);
+        let f = &m.fns[0];
+        let sites = call_sites(&m, &d, f.start, f.end);
+        let names: Vec<(&str, Option<&str>)> = sites
+            .iter()
+            .map(|s| (s.name.as_str(), s.recv.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("lock", Some("tokens")),
+                ("helper", None),
+                ("enter", Some("gate")),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_macros_and_definitions_are_not_calls() {
+        let m = model("fn f() { if (a) { vec![1]; println!(\"x\"); return (b); } }");
+        let d = match_delims(&m);
+        let f = &m.fns[0];
+        assert!(call_sites(&m, &d, f.start, f.end).is_empty());
+    }
+
+    #[test]
+    fn graph_counts_edges_to_known_definitions_only() {
+        let m = model("fn callee() {} fn caller() { callee(); unknown(); callee(); }");
+        let g = CallGraph::build(std::slice::from_ref(&m), &[match_delims(&m)]);
+        assert_eq!(g.edges, 2);
+        assert!(g.defs.contains_key("caller"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Shared JSON string writing.
+//!
+//! All JSON this crate emits (the `--json` report, per-diagnostic
+//! objects, the SARIF artifact) is hand-assembled; this module is the
+//! one place that knows how to escape a string for it, so the report
+//! writer and the SARIF emitter cannot drift apart.
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` as a quoted, escaped JSON string literal.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    push_escaped(out, s);
+    out.push('"');
+}
+
+/// Appends the escaped form of `s` (no surrounding quotes) to `out`.
+pub fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal (no quotes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    push_escaped(&mut out, s);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoted_and_bare_forms_agree() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,370 @@
+//! `pending-commit-leak`: every `submit_commit` success path must
+//! reach `finish`/drop-publish before the worker blocks on another
+//! pending.
+//!
+//! This is the PR-7 drain-all-pendings invariant: an unfinished
+//! [`PendingCommit`] holds a commit-gate read guard and (under
+//! ROCoCoTM) an unpublished dense sequence number that the whole
+//! system turn-waits on. A shard worker that parks in `recv` — or
+//! simply returns — while such a pending is live therefore stalls
+//! every later committer. The rule tracks bindings produced by
+//! `submit_commit(..)`/`try_submit(..)` (through `let` initializers
+//! and through `Ok(..)`/`Submitted::Pending(..)` match arms, including
+//! matches on a variable the submit result was first stored in) and
+//! requires each to reach `.finish(..)`, be dropped (dropping
+//! publishes), or escape by value (`inflight.push(..)`, a constructor,
+//! a return) before a queue park or the end of its scope.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::model::{FileModel, FnSpan};
+use crate::rules::WorkspaceRule;
+use crate::Workspace;
+
+/// Functions whose call produces a pending-commit value.
+const PRODUCERS: &[&str] = &["submit_commit", "try_submit"];
+
+/// Queue parks a live pending must not cross.
+const PARK_OPS: &[&str] = &["recv", "recv_timeout"];
+
+/// See the module docs.
+pub struct PendingCommitLeak;
+
+impl WorkspaceRule for PendingCommitLeak {
+    fn id(&self) -> &'static str {
+        "pending-commit-leak"
+    }
+
+    fn description(&self) -> &'static str {
+        "submitted commits must reach finish/drop-publish before the worker parks \
+         (the PR-7 drain invariant)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for (fi, m) in ws.models.iter().enumerate() {
+            for f in &m.fns {
+                check_fn(m, f, &ws.delims[fi].open, out);
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PendingBinding {
+    name: String,
+    origin_line: u32,
+    /// First token to scan for resolution.
+    from: usize,
+    /// One past the last token of the binding's scope.
+    to: usize,
+}
+
+fn is_producer_call(m: &FileModel, t: usize) -> bool {
+    m.toks[t].kind == TokKind::Ident
+        && PRODUCERS.contains(&m.text(t))
+        && m.is_punct(t + 1, b'(')
+        && !(t > 0 && m.is_ident(t - 1, "fn"))
+}
+
+fn range_has_producer(m: &FileModel, from: usize, to: usize) -> bool {
+    (from..to).any(|t| is_producer_call(m, t))
+}
+
+fn check_fn(m: &FileModel, f: &FnSpan, open_match: &[usize], out: &mut Vec<Diagnostic>) {
+    if !range_has_producer(m, f.start, f.end) {
+        return;
+    }
+    let mut bindings: Vec<PendingBinding> = Vec::new();
+
+    // Pass 1: `let` bindings whose initializer contains a producer.
+    let mut braces: Vec<usize> = Vec::new();
+    for t in (f.start + 1)..f.end {
+        match m.toks[t].kind {
+            TokKind::Punct(b'{') => braces.push(t),
+            TokKind::Punct(b'}') => {
+                braces.pop();
+            }
+            TokKind::Ident if m.text(t) == "let" => {
+                let scope_end = braces
+                    .last()
+                    .map(|&b| open_match[b])
+                    .filter(|&e| e != usize::MAX)
+                    .unwrap_or(f.end);
+                if let Some((names, init_end)) = let_names_and_init(m, f, t) {
+                    if range_has_producer(m, t, init_end) {
+                        for name in names {
+                            bindings.push(PendingBinding {
+                                name,
+                                origin_line: m.toks[t].line,
+                                from: init_end,
+                                to: scope_end,
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Pass 2: match arms. A scrutinee is tainted when it contains a
+    // producer call directly, or names a binding from pass 1 (the
+    // submit result stored first, matched after).
+    let tainted: Vec<String> = bindings.iter().map(|b| b.name.clone()).collect();
+    for t in (f.start + 1)..f.end {
+        if m.toks[t].kind != TokKind::Ident || m.text(t) != "match" {
+            continue;
+        }
+        // Scrutinee: up to the body `{` at depth 0.
+        let mut d = 0usize;
+        let mut k = t + 1;
+        let body_open = loop {
+            if k >= f.end {
+                break None;
+            }
+            match m.toks[k].kind {
+                TokKind::Punct(b'{') if d == 0 => break Some(k),
+                TokKind::Punct(b'(') | TokKind::Punct(b'[') => d += 1,
+                TokKind::Punct(b')') | TokKind::Punct(b']') => d = d.saturating_sub(1),
+                _ => {}
+            }
+            k += 1;
+        };
+        let Some(body_open) = body_open else { continue };
+        let direct = range_has_producer(m, t, body_open);
+        let via_binding = !direct
+            && ((t + 1)..body_open).any(|k| {
+                m.toks[k].kind == TokKind::Ident && tainted.iter().any(|n| n == m.text(k))
+            });
+        if !direct && !via_binding {
+            continue;
+        }
+        let body_close = open_match[body_open];
+        if body_close == usize::MAX {
+            continue;
+        }
+        collect_arm_bindings(m, body_open, body_close, direct, &mut bindings);
+    }
+
+    // Resolution scan per binding.
+    for b in bindings {
+        scan_binding(m, &b, out);
+    }
+}
+
+/// Parses the `let` at `t`: pattern names and the token index ending
+/// the initializer (`;` for plain lets, the block `{` for `if let` /
+/// `while let`).
+fn let_names_and_init(m: &FileModel, f: &FnSpan, t: usize) -> Option<(Vec<String>, usize)> {
+    let cond_let = t > 0 && (m.is_ident(t - 1, "if") || m.is_ident(t - 1, "while"));
+    let mut names = Vec::new();
+    let mut depth = 0usize;
+    let mut j = t + 1;
+    let eq = loop {
+        if j >= f.end {
+            return None;
+        }
+        match m.toks[j].kind {
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') | TokKind::Punct(b'{') => depth += 1,
+            TokKind::Punct(b')') | TokKind::Punct(b']') | TokKind::Punct(b'}') => {
+                depth = depth.saturating_sub(1)
+            }
+            TokKind::Punct(b';') if depth == 0 => return None,
+            TokKind::Punct(b'=')
+                if depth == 0
+                    && !m.is_punct(j + 1, b'=')
+                    && !matches!(
+                        m.toks[j - 1].kind,
+                        TokKind::Punct(b'=')
+                            | TokKind::Punct(b'!')
+                            | TokKind::Punct(b'<')
+                            | TokKind::Punct(b'>')
+                    ) =>
+            {
+                break j;
+            }
+            TokKind::Ident => {
+                let n = m.text(j);
+                if !matches!(n, "mut" | "ref" | "box" | "_")
+                    && n.chars()
+                        .next()
+                        .is_some_and(|c| c.is_lowercase() || c == '_')
+                {
+                    names.push(n.to_string());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    };
+    if names.is_empty() {
+        return None;
+    }
+    let mut d = 0usize;
+    let mut k = eq + 1;
+    let init_end = loop {
+        if k >= f.end {
+            break f.end;
+        }
+        match m.toks[k].kind {
+            TokKind::Punct(b'{') if cond_let && d == 0 => break k,
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') | TokKind::Punct(b'{') => d += 1,
+            TokKind::Punct(b')') | TokKind::Punct(b']') | TokKind::Punct(b'}') => {
+                d = d.saturating_sub(1)
+            }
+            TokKind::Punct(b';') if d == 0 => break k,
+            _ => {}
+        }
+        k += 1;
+    };
+    Some((names, init_end))
+}
+
+/// Walks the arms of a tainted `match` body and collects the bindings
+/// of its pending-carrying patterns: `Submitted::Pending(..)` always,
+/// `Ok(..)` only when the producer call is directly in the scrutinee.
+fn collect_arm_bindings(
+    m: &FileModel,
+    body_open: usize,
+    body_close: usize,
+    direct: bool,
+    bindings: &mut Vec<PendingBinding>,
+) {
+    let mut t = body_open + 1;
+    while t < body_close {
+        // Pattern: up to `=>` at depth 0 relative to the body.
+        let pat_start = t;
+        let mut d = 0usize;
+        let arrow = loop {
+            if t >= body_close {
+                return;
+            }
+            match m.toks[t].kind {
+                TokKind::Punct(b'(') | TokKind::Punct(b'[') | TokKind::Punct(b'{') => d += 1,
+                TokKind::Punct(b')') | TokKind::Punct(b']') | TokKind::Punct(b'}') => {
+                    d = d.saturating_sub(1)
+                }
+                TokKind::Punct(b'=') if d == 0 && m.is_punct(t + 1, b'>') => break t,
+                _ => {}
+            }
+            t += 1;
+        };
+        // Arm body: a block to its matching brace, or an expression to
+        // the `,` at depth 0 (or the body close).
+        let body_start = arrow + 2;
+        let block_arm = m.is_punct(body_start, b'{');
+        let body_end = if block_arm {
+            let mut depth = 1usize;
+            let mut k = body_start + 1;
+            while k < body_close && depth > 0 {
+                match m.toks[k].kind {
+                    TokKind::Punct(b'{') => depth += 1,
+                    TokKind::Punct(b'}') => depth -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+            k
+        } else {
+            let mut depth = 0usize;
+            let mut k = body_start;
+            while k < body_close {
+                match m.toks[k].kind {
+                    TokKind::Punct(b'(') | TokKind::Punct(b'[') | TokKind::Punct(b'{') => {
+                        depth += 1
+                    }
+                    TokKind::Punct(b')') | TokKind::Punct(b']') | TokKind::Punct(b'}') => {
+                        depth = depth.saturating_sub(1)
+                    }
+                    TokKind::Punct(b',') if depth == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            k
+        };
+        let carries_pending = (pat_start..arrow).any(|k| {
+            m.toks[k].kind == TokKind::Ident
+                && (m.text(k) == "Pending" || (direct && m.text(k) == "Ok"))
+        });
+        if carries_pending {
+            for k in pat_start..arrow {
+                if m.toks[k].kind != TokKind::Ident {
+                    continue;
+                }
+                let n = m.text(k);
+                if matches!(n, "mut" | "ref" | "box" | "if" | "_")
+                    || !n
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_lowercase() || c == '_')
+                {
+                    continue;
+                }
+                bindings.push(PendingBinding {
+                    name: n.to_string(),
+                    origin_line: m.toks[pat_start].line,
+                    from: body_start,
+                    to: body_end,
+                });
+            }
+        }
+        // A block arm's `body_end` is already one past its `}` and the
+        // comma after it is optional; an expression arm's is its `,`.
+        t = if block_arm { body_end } else { body_end + 1 };
+    }
+}
+
+/// Scans one binding's scope for resolution (finish / drop / escape)
+/// vs. a queue park or scope exhaustion.
+fn scan_binding(m: &FileModel, b: &PendingBinding, out: &mut Vec<Diagnostic>) {
+    let mut t = b.from;
+    while t < b.to {
+        if m.toks[t].kind == TokKind::Ident {
+            let txt = m.text(t);
+            if txt == b.name && !m.is_punct(t.wrapping_sub(1), b'.') {
+                if m.is_punct(t + 1, b'.') {
+                    if m.is_ident(t + 2, "finish") {
+                        return; // resolved: finished in place
+                    }
+                    // Other method use: the pending stays live.
+                } else {
+                    // Moved by value: finish_submitted(.., pending),
+                    // a constructor, push, return, drop — no longer
+                    // this scope's responsibility.
+                    return;
+                }
+            } else if PARK_OPS.contains(&txt)
+                && m.is_punct(t.wrapping_sub(1), b'.')
+                && m.is_punct(t + 1, b'(')
+            {
+                out.push(Diagnostic {
+                    file: m.path.clone(),
+                    line: m.toks[t].line,
+                    col: m.toks[t].col,
+                    rule: "pending-commit-leak",
+                    message: format!(
+                        "worker parks in `.{txt}()` while pending commit `{}` (submitted \
+                         on line {}) is unfinished; drain all pendings before blocking \
+                         (the PR-7 invariant)",
+                        b.name, b.origin_line,
+                    ),
+                });
+                return;
+            }
+        }
+        t += 1;
+    }
+    out.push(Diagnostic {
+        file: m.path.clone(),
+        line: b.origin_line,
+        col: 1,
+        rule: "pending-commit-leak",
+        message: format!(
+            "pending commit `{}` never reaches `finish`/drop-publish on this path; \
+             an unfinished pending holds its commit-gate guard and an unpublished \
+             sequence number forever",
+            b.name,
+        ),
+    });
+}

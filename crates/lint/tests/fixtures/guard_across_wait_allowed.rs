@@ -1,0 +1,24 @@
+//! Fixture: the same hold shapes as `guard_across_wait_bad.rs`, each
+//! carrying a justified suppression. Must lint clean — and every
+//! suppression must be consumed (a stale one is `unused-suppression`).
+
+pub struct Engine {
+    state: Mutex<State>,
+    commit_gate: RwLock<()>,
+}
+
+impl Engine {
+    fn drain_under_state(&self, rx: &Receiver<u64>) -> u64 {
+        let st = self.state.lock();
+        // rococo-lint: allow(guard-across-wait) -- the drain is bounded: producers never take the state mutex, so holding it across the recv cannot deadlock
+        let v = rx.recv().unwrap();
+        drop(st);
+        v
+    }
+
+    fn hold_gate_over_pause(&self) {
+        let shared = self.commit_gate.read();
+        std::thread::sleep(Duration::from_millis(1)); // rococo-lint: allow(guard-across-wait) -- deliberate backoff inside the gate window; writers are excluded by design for the whole window
+        drop(shared);
+    }
+}

@@ -1,0 +1,48 @@
+//! Fixture: guards held across blocking operations. Three holds must
+//! fire; the two release-first shapes and the condvar contract must
+//! not.
+
+pub struct Engine {
+    state: Mutex<State>,
+    commit_gate: RwLock<()>,
+    cv: Condvar,
+}
+
+impl Engine {
+    /// State mutex held across a channel park.
+    fn state_across_recv(&self, rx: &Receiver<u64>) -> u64 {
+        let st = self.state.lock();
+        let v = rx.recv().unwrap(); // line 15: must fire
+        drop(st);
+        v
+    }
+
+    /// Commit-gate read guard held across a sleep.
+    fn gate_across_sleep(&self) {
+        let shared = self.commit_gate.read();
+        std::thread::sleep(Duration::from_millis(1)); // line 23: must fire
+        drop(shared);
+    }
+
+    /// Unregistered mutex (LocalMutex) held across a park.
+    fn local_across_park(&self, side: &Mutex<u32>) {
+        let g = side.lock();
+        std::thread::park(); // line 30: must fire
+        drop(g);
+    }
+
+    /// Clean: released before the park.
+    fn drop_before_park(&self, rx: &Receiver<u64>) {
+        let st = self.state.lock();
+        drop(st);
+        let _ = rx.recv();
+    }
+
+    /// Clean: a condvar wait *releases* the guard named in its
+    /// arguments — that is its contract.
+    fn condvar_wait_releases(&self) {
+        let mut st = self.state.lock();
+        st = self.cv.wait(st);
+        drop(st);
+    }
+}

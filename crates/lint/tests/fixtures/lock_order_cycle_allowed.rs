@@ -1,0 +1,17 @@
+//! Fixture: a justified acquisition-order back-edge. Must lint clean
+//! with the suppression consumed.
+
+pub struct Router {
+    gate: ModeGate,
+    conflicts: ConflictTable,
+}
+
+impl Router {
+    fn late_token(&self, tx: u64) {
+        let g = self.gate.enter(true);
+        // rococo-lint: allow(lock-order-cycle) -- token acquisition under the gate is try-only upstream of this call; the blocking path is unreachable while the epoch is ours
+        let t = self.conflicts.acquire(tx);
+        drop(t);
+        drop(g);
+    }
+}

@@ -1,0 +1,56 @@
+//! Fixture: acquisition-order back-edges. The canonical order is
+//! admission-token < mode-gate < state-mutex < commit-gate <
+//! shard-queue; two back-edges and one same-rank re-entry must fire,
+//! the forward and `try_*` shapes must not.
+
+pub struct Router {
+    conflicts: ConflictTable,
+    gate: ModeGate,
+    state: Mutex<GateState>,
+    commit_gate: RwLock<()>,
+}
+
+impl Router {
+    /// mode-gate then admission-token: back-edge (1 -> 0).
+    fn gate_then_token(&self, tx: u64) {
+        let g = self.gate.enter(true);
+        let t = self.conflicts.acquire(tx); // line 17: must fire
+        drop(t);
+        drop(g);
+    }
+
+    /// commit-gate then state-mutex: back-edge (3 -> 2).
+    fn gate_then_state(&self) {
+        let shared = self.commit_gate.read();
+        let st = self.state.lock(); // line 25: must fire
+        drop(st);
+        drop(shared);
+    }
+
+    /// Same rank re-acquired: self-deadlock for a non-reentrant lock.
+    fn state_then_state(&self, other: &Router) {
+        let a = self.state.lock();
+        let b = other.state.lock(); // line 33: must fire
+        drop(b);
+        drop(a);
+    }
+
+    /// Clean: strictly ascending the canonical order.
+    fn forward_order(&self, tx: u64) {
+        let t = self.conflicts.acquire(tx);
+        let g = self.gate.enter(true);
+        let st = self.state.lock();
+        drop(st);
+        drop(g);
+        drop(t);
+    }
+
+    /// Clean: `try_*` acquisitions never block, so they make no edge.
+    fn try_descent(&self) {
+        let shared = self.commit_gate.read();
+        if let Some(st) = self.state.try_lock() {
+            drop(st);
+        }
+        drop(shared);
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: a justified pending-across-park hold. Must lint clean with
+//! the suppression consumed.
+
+pub struct Worker {
+    engine: Engine,
+}
+
+impl Worker {
+    fn await_verdict_channel(&self, rx: &Receiver<u64>) -> u64 {
+        let pending = self.engine.submit_commit(1);
+        // rococo-lint: allow(pending-commit-leak) -- this recv IS the verdict delivery for the pending; the validator thread never submits, so the park cannot starve the drain
+        let verdict = rx.recv().unwrap();
+        pending.finish(verdict)
+    }
+}

@@ -1,0 +1,62 @@
+//! Fixture: pending-commit leaks (the PR-7 drain invariant). Three
+//! leaks must fire; the finish-first, escape-by-value, and
+//! non-pending-arm shapes must not.
+
+pub struct Worker {
+    engine: Engine,
+}
+
+impl Worker {
+    /// Parks in `recv` while the pending is unfinished.
+    fn park_with_pending(&self, rx: &Receiver<u64>) -> u64 {
+        let pending = self.engine.submit_commit(1);
+        let verdict = rx.recv().unwrap(); // line 13: must fire
+        pending.finish(verdict)
+    }
+
+    /// Scope ends without finish/drop/escape.
+    fn forget_pending(&self) {
+        let pending = self.engine.submit_commit(2); // line 19: must fire
+        self.tick();
+    }
+
+    /// Tainted-match shape: the submit result is stored, matched
+    /// later, and the `Pending` arm parks before finishing.
+    fn match_then_park(&self, rx: &Receiver<u64>) {
+        let submitted = self.engine.try_submit(3);
+        match submitted {
+            Submitted::Pending(pending) => {
+                let v = rx.recv().unwrap(); // line 29: must fire
+                pending.finish(v);
+            }
+            Submitted::Done(_) => {}
+        }
+    }
+
+    /// Clean: finished before the park.
+    fn finish_then_park(&self, rx: &Receiver<u64>) {
+        let pending = self.engine.submit_commit(4);
+        pending.finish(0);
+        let _ = rx.recv();
+    }
+
+    /// Clean: escapes by value — the in-flight list owns it now.
+    fn push_inflight(&self, inflight: &mut Vec<Pending>) {
+        let pending = self.engine.submit_commit(5);
+        inflight.push(pending);
+        self.tick();
+    }
+
+    /// Clean: non-pending arms of a direct match carry nothing.
+    fn direct_match_aborted(&self, rx: &Receiver<u64>) {
+        match self.engine.try_submit(6) {
+            Submitted::Aborted(code) => {
+                let _ = rx.recv();
+                self.log(code);
+            }
+            Submitted::Done(_) => {}
+        }
+    }
+
+    fn tick(&self) {}
+}

@@ -1,0 +1,55 @@
+//! Regression fixture: the PR-7 shard-worker drain invariant, reduced.
+//!
+//! A batched shard worker submits validation requests and collects
+//! `Pending` handles; each handle holds a commit-gate read guard and an
+//! unpublished sequence number. The invariant PR-7 introduced: drain
+//! (finish) every pending before parking in `recv` for the next batch.
+//! The broken loop below parks with a pending live; the fixed loop
+//! pushes pendings into the in-flight list (escape by value) and drains
+//! it before re-blocking — the exact shape `crates/server/src/shard.rs`
+//! runs in production.
+
+pub struct ShardWorker {
+    engine: Engine,
+}
+
+impl ShardWorker {
+    /// Broken: parks for the next request while `pending` is live.
+    pub fn run_broken(&self, rx: &Receiver<Req>) {
+        while let Ok(req) = rx.recv() {
+            let submitted = self.engine.try_submit(req);
+            match submitted {
+                Submitted::Pending(pending) => {
+                    let next = rx.recv(); // line 23: must fire
+                    pending.finish(0);
+                    self.requeue(next);
+                }
+                Submitted::Done(v) => self.reply(v),
+            }
+        }
+    }
+
+    /// Fixed: pendings escape into the in-flight list and the list is
+    /// drained before the worker blocks again.
+    pub fn run_fixed(&self, rx: &Receiver<Req>) {
+        let mut inflight = Vec::new();
+        while let Ok(req) = rx.recv() {
+            let submitted = self.engine.try_submit(req);
+            match submitted {
+                Submitted::Pending(pending) => inflight.push(pending),
+                Submitted::Done(v) => self.reply(v),
+            }
+            self.drain(&mut inflight);
+        }
+    }
+
+    fn drain(&self, inflight: &mut Vec<Pending>) {
+        for p in inflight.drain(..) {
+            p.finish(0);
+        }
+    }
+
+    fn reply(&self, v: u64) {}
+
+    fn requeue(&self, r: Result<Req, RecvError>) {}
+}

@@ -191,3 +191,115 @@ fn json_report_is_machine_readable() {
         assert!(json.contains(&format!("\"id\":\"{id}\"")), "{json}");
     }
 }
+
+// ---------------------------------------------------------------- //
+// Interprocedural rules (guard-across-wait, lock-order-cycle,
+// pending-commit-leak) and their PR-8 / PR-7 regression fixtures.
+// ---------------------------------------------------------------- //
+
+#[test]
+fn guard_across_wait_flags_every_hold_shape() {
+    let report = lint_one("guard_across_wait_bad.rs", "crates/demo/src/gw.rs", false);
+    assert_eq!(
+        findings(&report),
+        vec![
+            ("guard-across-wait", 15), // state mutex across recv
+            ("guard-across-wait", 23), // commit-gate read across sleep
+            ("guard-across-wait", 30), // local mutex across park
+        ],
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn guard_across_wait_justified_holds_lint_clean() {
+    let report = lint_one(
+        "guard_across_wait_allowed.rs",
+        "crates/demo/src/gw.rs",
+        false,
+    );
+    assert_eq!(findings(&report), vec![], "{:?}", report.diagnostics);
+    // Both suppressions must be consumed, not dead.
+    assert_eq!(report.suppressions_used, 2);
+}
+
+#[test]
+fn lock_order_cycle_flags_back_edges_and_reentry() {
+    let report = lint_one("lock_order_cycle_bad.rs", "crates/demo/src/lo.rs", false);
+    assert_eq!(
+        findings(&report),
+        vec![
+            ("lock-order-cycle", 17), // mode-gate -> admission-token
+            ("lock-order-cycle", 25), // commit-gate -> state-mutex
+            ("lock-order-cycle", 33), // state-mutex re-entry (equal rank)
+        ],
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn lock_order_cycle_justified_back_edge_lints_clean() {
+    let report = lint_one(
+        "lock_order_cycle_allowed.rs",
+        "crates/demo/src/lo.rs",
+        false,
+    );
+    assert_eq!(findings(&report), vec![], "{:?}", report.diagnostics);
+    assert_eq!(report.suppressions_used, 1);
+}
+
+#[test]
+fn pending_commit_leak_flags_park_scope_end_and_tainted_match() {
+    let report = lint_one("pending_commit_leak_bad.rs", "crates/demo/src/pc.rs", false);
+    assert_eq!(
+        findings(&report),
+        vec![
+            ("pending-commit-leak", 13), // parks in recv with pending live
+            ("pending-commit-leak", 19), // scope ends unresolved
+            ("pending-commit-leak", 29), // tainted match arm parks
+        ],
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn pending_commit_leak_justified_hold_lints_clean() {
+    let report = lint_one(
+        "pending_commit_leak_allowed.rs",
+        "crates/demo/src/pc.rs",
+        false,
+    );
+    assert_eq!(findings(&report), vec![], "{:?}", report.diagnostics);
+    assert_eq!(report.suppressions_used, 1);
+}
+
+#[test]
+fn pr8_token_across_turn_wait_regression_fires_interprocedurally() {
+    // The blocking fact (turn-wait yield loop) sits one call away from
+    // the token acquisition: only the call-graph propagation sees it.
+    let report = lint_one("pr8_regression.rs", "crates/demo/src/pr8.rs", false);
+    assert_eq!(
+        findings(&report),
+        vec![("guard-across-wait", 31)],
+        "{:?}",
+        report.diagnostics
+    );
+    let msg = &report.diagnostics[0].message;
+    assert!(msg.contains("admission-token"), "{msg}");
+    assert!(msg.contains("await_commit_turn"), "{msg}");
+}
+
+#[test]
+fn pr7_worker_drain_invariant_regression_fires() {
+    let report = lint_one("pr7_regression.rs", "crates/demo/src/pr7.rs", false);
+    assert_eq!(
+        findings(&report),
+        vec![("pending-commit-leak", 23)],
+        "{:?}",
+        report.diagnostics
+    );
+    assert!(report.diagnostics[0].message.contains("PR-7"));
+}

@@ -603,6 +603,7 @@ impl<'a> Transaction for RococoTx<'a> {
             writes: req.write_addrs.len() as u32,
         });
         let t0 = Instant::now();
+        // rococo-lint: allow(guard-across-wait) -- the shared commit-gate read is held across validation by design (§4): an escalation writer must not interleave between verdict and publication; the validator never takes the gate
         let verdict = tm.handle.validate(req);
         let wall_ns = t0.elapsed().as_nanos() as u64;
         tm.stats.validation_ns.fetch_add(wall_ns, Ordering::Relaxed);
