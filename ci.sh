@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, build, and the full test suite.
+# Local CI gate: formatting, lints, build, the full test suite, and the
+# telemetry + trace-attribution smokes.
 # Run before every push. Works fully offline (all deps are vendored).
 #
 #   ./ci.sh            # the standard gate
@@ -91,6 +92,26 @@ cargo run --release -q -p rococo-bench --bin txkv_load -- \
 cargo run --release -q -p rococo-bench --bin telemetry_check -- "$TLM_DIR"
 cp "$TLM_DIR/metrics.json" METRICS_snapshot.json
 echo "wrote METRICS_snapshot.json"
+
+echo "== trace smoke (causal tracing + critical-path attribution, checked)"
+ATTR_TMP="$TLM_DIR/trace-smoke"      # lives under TLM_DIR, cleaned by its trap
+mkdir -p "$ATTR_TMP/tlm"
+# Tail-sampled attribution run: the analyzer must reconstruct every
+# sampled chain (stage shares summing to 1), the Perfetto flow triplets
+# must link each chain across lanes, and the trace artifacts must pass
+# the extended telemetry_check (anomaly dumps validated, zero tx spans
+# is a distinct failure).
+cargo run --release -q -p rococo-bench --bin txkv_load -- \
+  --backend rococo --ops 20000 --clients 4 --keys 4096 \
+  --durability always --telemetry "$ATTR_TMP/tlm" --attribution \
+  --json "$ATTR_TMP/bench.json" --label "ci trace attribution smoke"
+cargo run --release -q -p rococo-bench --bin trace_report -- \
+  "$ATTR_TMP/tlm" --check --top 3
+cargo run --release -q -p rococo-bench --bin telemetry_check -- "$ATTR_TMP/tlm"
+cargo run --release -q -p rococo-bench --bin bench_check -- \
+  "$ATTR_TMP/bench.json" --require-attribution
+cp "$ATTR_TMP/tlm/attribution.json" ATTRIBUTION_snapshot.json
+echo "wrote ATTRIBUTION_snapshot.json"
 
 if [[ "$BENCH_SMOKE" == "1" ]]; then
   echo "== bench smoke (closed + open loop txkv_load, JSON rows schema-validated)"

@@ -1,7 +1,7 @@
 //! bench_check: schema validation for a `txkv_load` JSON report.
 //!
 //! Usage: `bench_check <FILE> [--min-rows N] [--require-open-shed]
-//! [--require-hybrid]`
+//! [--require-hybrid] [--require-attribution]`
 //!
 //! Validates `BENCH_txkv.json` (or any report `txkv_load --json` wrote,
 //! possibly grown with `--append`): the document must be
@@ -12,7 +12,13 @@
 //! count; `--require-open-shed` asserts that at least one open-loop row
 //! shed requests, i.e. that an overload smoke actually overloaded;
 //! `--require-hybrid` asserts that at least one row came from the
-//! hybrid router and carries its `sched` counter object.
+//! hybrid router and carries its `sched` counter object;
+//! `--require-attribution` asserts that at least one row carries a
+//! critical-path `attribution` object. Any row that has one (flag or
+//! not) is held to its invariants: every stage share finite, in
+//! `[0, 1]`, named after [`rococo_telemetry::STAGES`], and the shares
+//! summing to 1.0 ± 0.02 — an attribution that over- or under-explains
+//! the latency it claims to decompose is worse than none.
 //!
 //! Exits 0 on success, 1 with a diagnostic on the first failure — the
 //! CI bench-smoke step runs this against short closed- and open-loop
@@ -150,6 +156,62 @@ fn check_row(i: usize, row: &Json) -> Result<(), String> {
             ));
         }
     }
+    // Rows from `--attribution` runs carry the critical-path summary;
+    // its stage shares must decompose the latency they claim to.
+    if let Some(a) = row.get("attribution") {
+        check_attribution(i, a)?;
+    }
+    Ok(())
+}
+
+/// Validates one row's `attribution` object: sampled/observed counts,
+/// tail percentiles, and stage shares that sum to ~1.0.
+fn check_attribution(i: usize, a: &Json) -> Result<(), String> {
+    for f in ["sampled", "observed", "p50_ns", "p99_ns", "p999_ns"] {
+        let v = a
+            .get(f)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("row {i}: attribution missing numeric \"{f}\""))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!(
+                "row {i}: attribution \"{f}\" = {v} is not a finite non-negative"
+            ));
+        }
+    }
+    if a.get("sampled").and_then(Json::as_f64).unwrap_or(0.0) < 1.0 {
+        return Err(format!("row {i}: attribution sampled zero chains"));
+    }
+    let shares = match a.get("shares") {
+        Some(s @ Json::Obj(m)) => {
+            if m.len() != rococo_telemetry::STAGES.len() {
+                return Err(format!(
+                    "row {i}: attribution has {} stage shares, expected {}",
+                    m.len(),
+                    rococo_telemetry::STAGES.len()
+                ));
+            }
+            s
+        }
+        _ => return Err(format!("row {i}: attribution missing \"shares\" object")),
+    };
+    let mut sum = 0.0f64;
+    for stage in rococo_telemetry::STAGES {
+        let v = shares
+            .get(stage)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("row {i}: attribution shares missing stage \"{stage}\""))?;
+        if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+            return Err(format!(
+                "row {i}: attribution share \"{stage}\" = {v} outside [0, 1]"
+            ));
+        }
+        sum += v;
+    }
+    if (sum - 1.0).abs() > 0.02 {
+        return Err(format!(
+            "row {i}: attribution stage shares sum to {sum:.4}, need 1.0 +/- 0.02"
+        ));
+    }
     Ok(())
 }
 
@@ -158,6 +220,7 @@ fn main() -> ExitCode {
     let mut min_rows = 1usize;
     let mut require_open_shed = false;
     let mut require_hybrid = false;
+    let mut require_attribution = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -169,10 +232,11 @@ fn main() -> ExitCode {
             }
             "--require-open-shed" => require_open_shed = true,
             "--require-hybrid" => require_hybrid = true,
+            "--require-attribution" => require_attribution = true,
             "--help" | "-h" => {
                 println!(
                     "usage: bench_check <FILE> [--min-rows N] [--require-open-shed] \
-                     [--require-hybrid]"
+                     [--require-hybrid] [--require-attribution]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -223,8 +287,11 @@ fn main() -> ExitCode {
             return fail("no hybrid row with a sched counter object");
         }
     }
+    if require_attribution && !rows.iter().any(|r| r.get("attribution").is_some()) {
+        return fail("no row carries a critical-path attribution object");
+    }
     println!(
-        "bench_check: OK ({} rows{}{})",
+        "bench_check: OK ({} rows{}{}{})",
         rows.len(),
         if require_open_shed {
             ", open-loop shedding observed"
@@ -233,6 +300,11 @@ fn main() -> ExitCode {
         },
         if require_hybrid {
             ", hybrid sched row present"
+        } else {
+            ""
+        },
+        if require_attribution {
+            ", attribution row present"
         } else {
             ""
         }

@@ -15,9 +15,16 @@
 //! * `trace.json` — must parse as Chrome trace-event JSON with at least
 //!   one transaction span and, when FPGA metrics are expected, at least
 //!   one Detector stage slice overlapping a transaction span in time.
+//! * `anomaly-*.txt` — every anomaly dump present must be non-empty,
+//!   carry a parseable `` anomaly `reason` on lane L at T ns (N events,
+//!   D dropped) `` header with N >= 1, and contain exactly N body lines.
 //!
-//! Exits 0 on success, 1 with a diagnostic on the first failure — the
-//! CI smoke step runs this against a short durable `txkv_load` run.
+//! Exits 0 on success, 1 with a diagnostic on the first failure. A
+//! trace.json that parses but contains **zero** transaction spans exits
+//! 2 instead: the artifact is well-formed but vacuous (recorder enabled
+//! too late, ring fully evicted, or over-aggressive sampling), which CI
+//! wants to tell apart from a malformed artifact. The CI smoke step runs
+//! this against a short durable `txkv_load` run.
 
 use rococo_telemetry::json::Json;
 use rococo_telemetry::{validate_prometheus, FPGA_PID, TX_PID};
@@ -161,7 +168,12 @@ fn main() -> ExitCode {
         })
         .collect();
     if tx_spans.is_empty() {
-        return fail("trace.json: no transaction spans (name=\"tx\", pid=TX_PID)");
+        // Distinct exit code: well-formed but vacuous trace. Previously
+        // this could pass silently; CI treats 2 as "nothing recorded".
+        eprintln!(
+            "telemetry_check: FAIL: trace.json: no transaction spans (name=\"tx\", pid=TX_PID)"
+        );
+        return ExitCode::from(2);
     }
     if expect_fpga {
         let stage_spans: Vec<(f64, f64)> = events
@@ -186,12 +198,62 @@ fn main() -> ExitCode {
         }
     }
 
+    // --- anomaly-*.txt ------------------------------------------------
+    let mut anomalies = 0usize;
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => return fail(&format!("cannot list {}: {e}", dir.display())),
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !(name.starts_with("anomaly-") && name.ends_with(".txt")) {
+            continue;
+        }
+        let text = match read(&entry.path()) {
+            Ok(s) => s,
+            Err(e) => return fail(&e),
+        };
+        if let Err(e) = check_anomaly(&text) {
+            return fail(&format!("{name}: {e}"));
+        }
+        anomalies += 1;
+    }
+
     println!(
-        "telemetry_check: OK ({} prom samples, {} JSON metrics, {} trace events, prefixes: {})",
+        "telemetry_check: OK ({} prom samples, {} JSON metrics, {} trace events, \
+         {} anomaly dumps, prefixes: {})",
         samples,
         metrics.len(),
         events.len(),
+        anomalies,
         prefixes.join(" ")
     );
     ExitCode::SUCCESS
+}
+
+/// Validates one anomaly dump: a parseable header whose event count is
+/// at least 1 and matches the number of body lines.
+fn check_anomaly(text: &str) -> Result<(), String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty anomaly dump")?;
+    // Header shape: anomaly `reason` on lane L at T ns (N events, D dropped)
+    if !header.starts_with("anomaly `") {
+        return Err(format!("unparseable header {header:?}"));
+    }
+    let count: usize = header
+        .split('(')
+        .nth(1)
+        .and_then(|tail| tail.split(" events").next())
+        .and_then(|n| n.trim().parse().ok())
+        .ok_or_else(|| format!("header missing event count: {header:?}"))?;
+    if count == 0 {
+        return Err("anomaly dump claims zero events".into());
+    }
+    let body = lines.filter(|l| !l.trim().is_empty()).count();
+    if body != count {
+        return Err(format!(
+            "header claims {count} events but body has {body} lines"
+        ));
+    }
+    Ok(())
 }

@@ -1,0 +1,310 @@
+//! trace_report: critical-path attribution analyzer for a
+//! `txkv_load --telemetry DIR --attribution` run.
+//!
+//! Usage: `trace_report <DIR> [--check] [--top N]`
+//!
+//! Reads `DIR/attribution.json` (one row per tail-sampled request chain,
+//! each decomposed into the critical-path stages of
+//! [`rococo_telemetry::STAGES`]) and prints a stage-attribution table:
+//! for the overall latency-weighted mean and for the requests at p50,
+//! p99 and p999 end-to-end latency, the share of each stage —
+//! queue-wait, route, exec, validation, commit-publish, fsync, backoff,
+//! repl-lag, other. The tail columns answer "what is the p999 made of?"
+//! directly, instead of leaving the reader to eyeball Perfetto spans.
+//!
+//! `--top N` additionally lists the N slowest sampled requests with
+//! their dominant stage. `--check` validates the artifact instead of
+//! just summarising it: every row's stage nanoseconds must sum exactly
+//! to its total, shares must be finite and in `[0, 1]`, and every
+//! sampled trace id must have its `s`/`t`/`f` Perfetto flow triplet in
+//! `DIR/trace.json` (the cross-lane request arrows). Exits 0 on
+//! success, 1 with a diagnostic on the first failure — CI runs this
+//! against the trace smoke artifact.
+
+use rococo_telemetry::json::Json;
+use rococo_telemetry::quantile::rank_of;
+use rococo_telemetry::STAGES;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// One parsed `attribution.json` row.
+struct Row {
+    trace: u64,
+    total_ns: u64,
+    outcome: String,
+    attempts: u32,
+    stage_ns: Vec<u64>,
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trace_report: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn parse_rows(doc: &Json) -> Result<Vec<Row>, String> {
+    let stages = doc
+        .get("stages")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"stages\" array")?;
+    let names: Vec<&str> = stages.iter().filter_map(Json::as_str).collect();
+    if names != STAGES {
+        return Err(format!(
+            "stage list {names:?} does not match this binary's {STAGES:?}"
+        ));
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"rows\" array")?;
+    let mut out = Vec::with_capacity(rows.len());
+    for (i, r) in rows.iter().enumerate() {
+        let num = |key: &str| -> Result<f64, String> {
+            r.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("row {i}: missing or non-numeric field {key:?}"))
+        };
+        let stage_obj = match r.get("stage_ns") {
+            Some(Json::Obj(m)) => m,
+            _ => return Err(format!("row {i}: missing \"stage_ns\" object")),
+        };
+        let mut stage_ns = Vec::with_capacity(STAGES.len());
+        for s in STAGES {
+            let v = stage_obj
+                .get(s)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("row {i}: stage_ns missing stage {s:?}"))?;
+            stage_ns.push(v as u64);
+        }
+        if stage_obj.len() != STAGES.len() {
+            return Err(format!(
+                "row {i}: stage_ns has {} entries, expected {}",
+                stage_obj.len(),
+                STAGES.len()
+            ));
+        }
+        out.push(Row {
+            trace: num("trace")? as u64,
+            total_ns: num("total_ns")? as u64,
+            outcome: r
+                .get("outcome")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("row {i}: missing \"outcome\""))?
+                .to_string(),
+            attempts: num("attempts")? as u32,
+            stage_ns,
+        })
+    }
+    Ok(out)
+}
+
+/// Latency-weighted mean stage shares over `rows`.
+fn weighted_shares(rows: &[&Row]) -> Vec<f64> {
+    let total: u128 = rows.iter().map(|r| r.total_ns as u128).sum();
+    if total == 0 {
+        return vec![0.0; STAGES.len()];
+    }
+    let mut out = vec![0.0; STAGES.len()];
+    for (i, o) in out.iter_mut().enumerate() {
+        let stage: u128 = rows.iter().map(|r| r.stage_ns[i] as u128).sum();
+        *o = stage as f64 / total as f64;
+    }
+    out
+}
+
+/// The rows in a small window around the nearest-rank index for quantile
+/// `q` of end-to-end latency — "the requests at p99", averaged over a
+/// few neighbours so one outlier chain doesn't dominate the column.
+fn cohort<'a>(sorted: &'a [&'a Row], q: f64) -> &'a [&'a Row] {
+    if sorted.is_empty() {
+        return sorted;
+    }
+    let idx = rank_of(sorted.len() as u64, q) as usize - 1;
+    let w = (sorted.len() / 50).max(1);
+    let lo = idx.saturating_sub(w / 2);
+    let hi = (lo + w).min(sorted.len());
+    &sorted[lo..hi]
+}
+
+fn print_table(rows: &[Row]) {
+    let mut by_total: Vec<&Row> = rows.iter().collect();
+    by_total.sort_by_key(|r| r.total_ns);
+    let quantile = |q: f64| by_total[rank_of(by_total.len() as u64, q) as usize - 1].total_ns;
+    let cohorts = [
+        ("mean", weighted_shares(&by_total)),
+        ("p50", weighted_shares(cohort(&by_total, 0.5))),
+        ("p99", weighted_shares(cohort(&by_total, 0.99))),
+        ("p999", weighted_shares(cohort(&by_total, 0.999))),
+    ];
+    println!(
+        "{} sampled chains; end-to-end p50 {} us, p99 {} us, p999 {} us",
+        rows.len(),
+        quantile(0.5) / 1000,
+        quantile(0.99) / 1000,
+        quantile(0.999) / 1000,
+    );
+    print!("{:<16}", "stage");
+    for (name, _) in &cohorts {
+        print!("{name:>9}");
+    }
+    println!();
+    for (i, stage) in STAGES.iter().enumerate() {
+        print!("{stage:<16}");
+        for (_, shares) in &cohorts {
+            print!("{:>8.1}%", shares[i] * 100.0);
+        }
+        println!();
+    }
+}
+
+fn print_top(rows: &[Row], n: usize) {
+    let mut by_total: Vec<&Row> = rows.iter().collect();
+    by_total.sort_by_key(|r| std::cmp::Reverse(r.total_ns));
+    println!("slowest {} sampled requests:", n.min(by_total.len()));
+    for r in by_total.iter().take(n) {
+        let (stage, ns) = STAGES
+            .iter()
+            .zip(r.stage_ns.iter())
+            .max_by_key(|(_, ns)| **ns)
+            .expect("STAGES is non-empty");
+        println!(
+            "  trace {:>8}  {:>9} us  {:<18} attempts {:>3}  dominant: {} ({:.0}%)",
+            r.trace,
+            r.total_ns / 1000,
+            r.outcome,
+            r.attempts,
+            stage,
+            if r.total_ns == 0 {
+                0.0
+            } else {
+                *ns as f64 * 100.0 / r.total_ns as f64
+            },
+        );
+    }
+}
+
+/// `--check`: structural validation of every row plus the flow-event
+/// cross-check against `trace.json`.
+fn check(dir: &std::path::Path, rows: &[Row]) -> Result<(), String> {
+    if rows.is_empty() {
+        return Err("attribution.json has zero rows".into());
+    }
+    for r in rows {
+        let sum: u64 = r.stage_ns.iter().sum();
+        if sum != r.total_ns {
+            return Err(format!(
+                "trace {}: stage_ns sums to {} but total_ns is {}",
+                r.trace, sum, r.total_ns
+            ));
+        }
+        if r.total_ns == 0 {
+            return Err(format!("trace {}: zero total_ns", r.trace));
+        }
+        if r.attempts == 0 && r.outcome != "shed" {
+            return Err(format!(
+                "trace {}: zero attempts on outcome {:?}",
+                r.trace, r.outcome
+            ));
+        }
+    }
+    // Every sampled chain must be linked across lanes in the Perfetto
+    // trace by its s/t/f flow triplet (shed chains never reach a worker,
+    // so only "s" and "f" are required for them).
+    let tjson = std::fs::read_to_string(dir.join("trace.json"))
+        .map_err(|e| format!("cannot read trace.json: {e}"))?;
+    let tdoc = Json::parse(&tjson).map_err(|e| format!("trace.json: {e}"))?;
+    let events = tdoc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("trace.json: missing \"traceEvents\"")?;
+    let mut flows: BTreeMap<u64, BTreeSet<char>> = BTreeMap::new();
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).unwrap_or("");
+        if matches!(ph, "s" | "t" | "f") && e.get("name").and_then(Json::as_str) == Some("req") {
+            if let Some(id) = e.get("id").and_then(Json::as_f64) {
+                flows
+                    .entry(id as u64)
+                    .or_default()
+                    .insert(ph.chars().next().expect("matched non-empty phase"));
+            }
+        }
+    }
+    for r in rows {
+        let phases = flows
+            .get(&r.trace)
+            .ok_or_else(|| format!("trace {}: no flow events in trace.json", r.trace))?;
+        let want: &[char] = if r.outcome == "shed" {
+            &['s', 'f']
+        } else {
+            &['s', 't', 'f']
+        };
+        for ph in want {
+            if !phases.contains(ph) {
+                return Err(format!(
+                    "trace {}: flow phase {ph:?} missing in trace.json (have {phases:?})",
+                    r.trace
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut dir: Option<PathBuf> = None;
+    let mut do_check = false;
+    let mut top = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => do_check = true,
+            "--top" => {
+                top = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--top needs a count");
+            }
+            "--help" | "-h" => {
+                println!("usage: trace_report <DIR> [--check] [--top N]");
+                return ExitCode::SUCCESS;
+            }
+            other if dir.is_none() => dir = Some(PathBuf::from(other)),
+            other => return fail(&format!("unexpected argument {other:?}")),
+        }
+    }
+    let Some(dir) = dir else {
+        return fail("missing telemetry directory argument");
+    };
+    let path = dir.join("attribution.json");
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot read {}: {e}", path.display())),
+    };
+    let doc = match Json::parse(&src) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("attribution.json: {e}")),
+    };
+    let rows = match parse_rows(&doc) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("attribution.json: {e}")),
+    };
+    if rows.is_empty() {
+        return fail("attribution.json: zero rows");
+    }
+    print_table(&rows);
+    if top > 0 {
+        print_top(&rows, top);
+    }
+    if do_check {
+        if let Err(e) = check(&dir, &rows) {
+            return fail(&e);
+        }
+        let incomplete = doc.get("incomplete").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        println!(
+            "trace_report: OK ({} rows checked, {} incomplete chains dropped upstream, flows verified)",
+            rows.len(),
+            incomplete
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -113,6 +113,12 @@ struct LoadCfg {
     /// Run each configuration twice — flight recorder off, then on — so
     /// the JSON report carries a before/after throughput pair.
     compare_telemetry: bool,
+    /// Tail-sampled causal tracing: keep full event chains for the
+    /// slowest-k requests per latency bucket (plus all failed ones),
+    /// decompose each into critical-path stages, write the
+    /// `attribution.json` artifact next to the trace, and stamp an
+    /// `attribution` summary object on the recorder-on JSON rows.
+    attribution: bool,
     /// Follower replica count; non-zero switches to replicated cluster
     /// mode (closed loop, WAL-shipped replication, one mid-run
     /// fail-over), emitting `repl` rows with lag and downtime.
@@ -140,6 +146,7 @@ impl Default for LoadCfg {
             append: false,
             telemetry: None,
             compare_telemetry: false,
+            attribution: false,
             replicas: 0,
         }
     }
@@ -203,6 +210,7 @@ fn parse_args() -> LoadCfg {
             "--append" => cfg.append = true,
             "--telemetry" => cfg.telemetry = Some(value("--telemetry")),
             "--compare-telemetry" => cfg.compare_telemetry = true,
+            "--attribution" => cfg.attribution = true,
             "--replicas" => cfg.replicas = value("--replicas").parse().expect("--replicas"),
             "--quick" => cfg.ops = 100_000,
             "--help" | "-h" => {
@@ -213,13 +221,18 @@ fn parse_args() -> LoadCfg {
                      [--queue N] [--batch N,M,...] \
                      [--durability none,always,everyN,never] [--json PATH|none] \
                      [--label TEXT] [--append] \
-                     [--telemetry DIR] [--compare-telemetry] [--replicas N] [--quick]"
+                     [--telemetry DIR] [--compare-telemetry] [--attribution] \
+                     [--replicas N] [--quick]"
                 );
                 std::process::exit(0);
             }
             other => panic!("unknown argument {other} (try --help)"),
         }
     }
+    assert!(
+        !cfg.attribution || cfg.telemetry.is_some(),
+        "--attribution requires --telemetry DIR (it is derived from recorded traces)"
+    );
     cfg
 }
 
@@ -299,6 +312,9 @@ fn closed_loop<S: TmSystem + 'static>(
         }
         done += 1;
     }
+    // Client threads emit the trace-opening `Ingress` events; hand them
+    // to the collector before the thread exits (no-op, recorder off).
+    rococo_telemetry::flush_thread();
 }
 
 fn drain_ready(pending: &mut VecDeque<PendingReply>, totals: &ClientTotals) {
@@ -361,6 +377,7 @@ fn open_loop<S: TmSystem + 'static>(
     for reply in pending {
         record(reply.wait(), totals);
     }
+    rococo_telemetry::flush_thread();
 }
 
 /// One run's machine-readable summary (a JSON object in the report
@@ -387,6 +404,9 @@ struct RunResult {
     /// Whether the transaction flight recorder was enabled for this run
     /// (the before/after pair `--compare-telemetry` produces).
     flight_recorder: bool,
+    /// Critical-path attribution summary over the tail-sampled chains;
+    /// present only on recorder-on `--attribution` rows.
+    attribution: Option<AttrRow>,
     wal: Option<rococo_wal::WalSnapshot>,
     /// Replication figures; present only on `--replicas` rows so the
     /// single-node schema is untouched.
@@ -394,6 +414,45 @@ struct RunResult {
     /// Router/scheduler counters; present only on single-node hybrid
     /// rows so every other schema is untouched.
     sched: Option<SchedSnapshot>,
+}
+
+/// The `attribution` object of a recorder-on `--attribution` row:
+/// latency-weighted stage shares over the tail-sampled request chains.
+struct AttrRow {
+    /// Complete sampled chains the summary aggregates.
+    sampled: usize,
+    /// Requests offered to the tail sampler during the run.
+    observed: u64,
+    /// Nearest-rank percentiles of the sampled chains' end-to-end
+    /// latency (tail-biased by construction: the sampler keeps the
+    /// slowest-k per bucket plus every failure).
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    /// Stage shares in `rococo_telemetry::STAGES` order, summing to 1.0.
+    shares: [f64; rococo_telemetry::attr::STAGE_COUNT],
+}
+
+impl AttrRow {
+    fn to_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            ",\"attribution\":{{\"sampled\":{},\"observed\":{},\"p50_ns\":{},\"p99_ns\":{},\
+             \"p999_ns\":{},\"shares\":{{",
+            self.sampled, self.observed, self.p50_ns, self.p99_ns, self.p999_ns,
+        );
+        for (i, (name, share)) in rococo_telemetry::STAGES
+            .iter()
+            .zip(self.shares.iter())
+            .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{share:.6}");
+        }
+        out.push_str("}}");
+    }
 }
 
 /// The replication columns of a `--replicas` row.
@@ -461,6 +520,9 @@ impl RunResult {
             self.p999_ns,
             self.flight_recorder,
         );
+        if let Some(a) = &self.attribution {
+            a.to_json(out);
+        }
         if let Some(r) = &self.repl {
             let _ = write!(
                 out,
@@ -521,7 +583,19 @@ fn run_backend<S: TmSystem + 'static>(
     };
     let telemetry_dir = cfg.telemetry.as_ref().map(std::path::PathBuf::from);
     if recorder_on {
-        rococo_telemetry::enable(rococo_telemetry::DEFAULT_RING_EVENTS);
+        // Attribution needs whole chains at export time: a deeper ring
+        // keeps slow sampled requests from being overwritten before the
+        // run drains (sampling decides what to *keep*, the ring decides
+        // what still *exists*).
+        let ring = if cfg.attribution {
+            rococo_telemetry::DEFAULT_RING_EVENTS * 16
+        } else {
+            rococo_telemetry::DEFAULT_RING_EVENTS
+        };
+        rococo_telemetry::enable(ring);
+        if cfg.attribution {
+            rococo_telemetry::sampler_reset(rococo_telemetry::DEFAULT_TAIL_K);
+        }
     }
     let kv_cfg = TxKvConfig {
         shards: cfg.shards,
@@ -623,10 +697,26 @@ fn run_backend<S: TmSystem + 'static>(
 
     // Export the flight-recorder artifacts: the Perfetto trace of every
     // recorded transaction plus any anomaly dumps taken during the run.
+    // Under --attribution the trace is tail-sampled first (only kept
+    // chains and trace-0 infrastructure events survive) and each kept
+    // chain is decomposed into critical-path stages.
+    let mut attribution = None;
     if recorder_on {
         if let Some(dir) = &telemetry_dir {
             let _ = std::fs::create_dir_all(dir);
-            let events = rococo_telemetry::drain_events();
+            let mut events = rococo_telemetry::drain_events();
+            if cfg.attribution {
+                let kept = rococo_telemetry::sampled_traces();
+                let before = events.len();
+                rococo_telemetry::filter_sampled(&mut events, &kept);
+                println!(
+                    "tail sampler kept {} of {} request chains ({} of {} events)",
+                    kept.len(),
+                    rococo_telemetry::sampler_observed(),
+                    events.len(),
+                    before,
+                );
+            }
             let lanes = rococo_telemetry::lane_names();
             let trace = rococo_telemetry::build_tx_trace(&events, &lanes);
             match std::fs::write(dir.join("trace.json"), trace) {
@@ -640,6 +730,9 @@ fn run_backend<S: TmSystem + 'static>(
             for (i, dump) in rococo_telemetry::take_dumps().iter().enumerate() {
                 let name = format!("anomaly-{i}-{}.txt", dump.reason);
                 let _ = std::fs::write(dir.join(name), dump.to_text());
+            }
+            if cfg.attribution {
+                attribution = write_attribution(dir, &events);
             }
         }
         rococo_telemetry::disable();
@@ -663,10 +756,92 @@ fn run_backend<S: TmSystem + 'static>(
         p99_ns: stats.latency.p99_ns,
         p999_ns: stats.latency.p999_ns,
         flight_recorder: recorder_on,
+        attribution,
         wal: report.wal.clone(),
         repl: None,
         sched: None,
     }
+}
+
+/// Attributes every complete sampled chain, writes the per-request
+/// `attribution.json` artifact (the input `trace_report` analyses), and
+/// returns the row-level summary.
+fn write_attribution(
+    dir: &std::path::Path,
+    events: &[rococo_telemetry::EventRecord],
+) -> Option<AttrRow> {
+    let chains = rococo_telemetry::group_chains(events);
+    let mut attrs = Vec::new();
+    let mut incomplete = 0usize;
+    for (_, chain) in &chains {
+        match rococo_telemetry::attribute(chain) {
+            Some(a) => attrs.push(a),
+            // Ring wrap-around evicted the chain's ingress or reply;
+            // nothing sound can be said about its total.
+            None => incomplete += 1,
+        }
+    }
+    if attrs.is_empty() {
+        eprintln!("attribution: no complete sampled chains ({incomplete} incomplete dropped)");
+        return None;
+    }
+    let mut out = String::from("{\"bench\":\"txkv_attribution\",\"stages\":[");
+    for (i, s) in rococo_telemetry::STAGES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{s}\"");
+    }
+    let _ = write!(out, "],\"incomplete\":{incomplete},\"rows\":[");
+    for (i, a) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"trace\":{},\"start_us\":{:.3},\"total_ns\":{},\"outcome\":\"{}\",\
+             \"attempts\":{},\"ingress_lane\":{},\"worker_lane\":{},\"stage_ns\":{{",
+            a.trace,
+            a.start_ns as f64 / 1000.0,
+            a.total_ns,
+            a.outcome,
+            a.attempts,
+            a.ingress_lane,
+            a.worker_lane,
+        );
+        for (j, (name, ns)) in rococo_telemetry::STAGES
+            .iter()
+            .zip(a.stage_ns.iter())
+            .enumerate()
+        {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{ns}");
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}\n");
+    let path = dir.join("attribution.json");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!(
+            "wrote {} ({} chains, {} incomplete dropped)",
+            path.display(),
+            attrs.len(),
+            incomplete
+        ),
+        Err(e) => eprintln!("could not write attribution.json: {e}"),
+    }
+    let mut totals: Vec<u64> = attrs.iter().map(|a| a.total_ns).collect();
+    totals.sort_unstable();
+    Some(AttrRow {
+        sampled: attrs.len(),
+        observed: rococo_telemetry::sampler_observed(),
+        p50_ns: rococo_telemetry::quantile::sorted_quantile(&totals, 0.5),
+        p99_ns: rococo_telemetry::quantile::sorted_quantile(&totals, 0.99),
+        p999_ns: rococo_telemetry::quantile::sorted_quantile(&totals, 0.999),
+        shares: rococo_telemetry::aggregate_shares(&attrs),
+    })
 }
 
 /// Replicated-mode request mix: as [`gen_request`], except transfers
@@ -907,6 +1082,7 @@ fn run_replicated<S: TmSystem + 'static>(
         p99_ns: lat.quantile_upper(0.99),
         p999_ns: lat.quantile_upper(0.999),
         flight_recorder: false,
+        attribution: None,
         wal: report.primary.as_ref().and_then(|r| r.wal.clone()),
         sched: None,
         repl: Some(ReplRun {

@@ -23,6 +23,10 @@
 //!   *and complete* serializability check. A topological replay then
 //!   revalidates every read (including non-unique payload words) and the
 //!   final heap state.
+//! * **A trace-completeness oracle** ([`trace_oracle::check_trace`]):
+//!   every request chain the flight recorder captures must be
+//!   stage-monotone and exactly attributable — the causal traces that
+//!   aim optimization work are checked as adversarially as the answers.
 //! * **A stress driver** ([`driver::run_chaos`]): seeded workloads over
 //!   every backend, sweep and shrink helpers, and one-line reproducer
 //!   commands for failing seeds.
@@ -37,6 +41,7 @@ pub mod driver;
 pub mod history;
 pub mod oracle;
 pub mod recovery;
+pub mod trace_oracle;
 pub mod workload;
 
 pub use cluster::{
@@ -53,4 +58,5 @@ pub use recovery::{
     recovery_reproducer, recovery_sweep, run_recovery, RecoveryParams, RecoveryRunReport,
     RECOVERY_BACKENDS,
 };
+pub use trace_oracle::{check_trace, TraceOracleReport};
 pub use workload::{gen_ops, Layout, Op, INITIAL_BALANCE};

@@ -73,18 +73,13 @@ fn upper_of(idx: usize) -> u64 {
 /// can never exceed the largest value actually recorded (the bucket
 /// *midpoint* of the top occupied bucket otherwise overshoots it).
 fn quantile_from(counts: &[u64], total: u64, max_ns: u64, q: f64) -> u64 {
-    if total == 0 {
-        return 0;
+    // Rank selection and the cumulative scan live in the shared
+    // telemetry helper; this histogram only supplies the bucket →
+    // representative-value mapping and the max clamp.
+    match rococo_telemetry::quantile::bucket_index(counts, total, q) {
+        None => 0,
+        Some(i) => value_of(i).min(max_ns),
     }
-    let target = ((q * total as f64).ceil() as u64).clamp(1, total);
-    let mut seen = 0u64;
-    for (i, &c) in counts.iter().enumerate() {
-        seen += c;
-        if seen >= target {
-            return value_of(i).min(max_ns);
-        }
-    }
-    value_of(BUCKETS - 1).min(max_ns)
 }
 
 impl LatencyHistogram {

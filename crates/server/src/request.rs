@@ -164,6 +164,23 @@ pub enum TxKvError {
     },
 }
 
+impl TxKvError {
+    /// Short stable label for this error, used as the trace `Reply`
+    /// outcome so sampled chains can be grouped by failure mode.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TxKvError::Overloaded { .. } => "shed",
+            TxKvError::KeyOutOfRange { .. } => "key-out-of-range",
+            TxKvError::TooManyKeys { .. } => "too-many-keys",
+            TxKvError::RetriesExhausted { .. } => "retries-exhausted",
+            TxKvError::DurabilityLost => "durability-lost",
+            TxKvError::Internal => "internal",
+            TxKvError::ShuttingDown => "shutting-down",
+            TxKvError::InvalidConfig { .. } => "invalid-config",
+        }
+    }
+}
+
 impl fmt::Display for TxKvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -565,23 +565,57 @@ impl<S: TmSystem + 'static> TxKv<S> {
         }
 
         let shard = self.shard_of(req.primary_key());
+        // Mint the request's causal trace id at ingress and open its
+        // chain with an `Ingress` event on the *client* thread; the
+        // shard worker continues the chain from the id carried on the
+        // job. Disabled recorder ⇒ trace 0 ⇒ tracing fully off.
+        let trace = if rococo_telemetry::enabled() {
+            let trace = rococo_telemetry::mint_trace();
+            rococo_telemetry::set_current_trace(trace);
+            rococo_telemetry::tlm_event!(rococo_telemetry::TxEvent::Ingress {
+                shard: shard as u32,
+                class: req.class(),
+            });
+            trace
+        } else {
+            0
+        };
+        let enqueued_at = Instant::now();
         let (reply_tx, reply_rx) = bounded(1);
         let job = Job {
             req,
-            enqueued_at: Instant::now(),
+            enqueued_at,
+            trace,
             reply: reply_tx,
         };
-        match self.senders[shard].try_send(job) {
+        let out = match self.senders[shard].try_send(job) {
             Ok(()) => {
                 self.stats[shard].note_enqueued();
                 Ok(PendingReply { rx: reply_rx })
             }
             Err(TrySendError::Full(_)) => {
                 self.stats[shard].note_shed();
+                if trace != 0 {
+                    // Close the shed request's chain here — no worker
+                    // will ever see it — and force-keep it in the tail
+                    // sampler: shed requests are always worth keeping.
+                    rococo_telemetry::tlm_event!(rococo_telemetry::TxEvent::Reply {
+                        outcome: "shed"
+                    });
+                    rococo_telemetry::observe_request(
+                        trace,
+                        enqueued_at.elapsed().as_nanos() as u64,
+                        true,
+                    );
+                }
                 Err(TxKvError::Overloaded { shard })
             }
             Err(TrySendError::Disconnected(_)) => Err(TxKvError::ShuttingDown),
+        };
+        if trace != 0 {
+            rococo_telemetry::clear_current_trace();
         }
+        out
     }
 
     /// Submits a request and blocks for the response (closed-loop

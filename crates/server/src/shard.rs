@@ -23,6 +23,10 @@ use std::time::Instant;
 pub(crate) struct Job {
     pub(crate) req: Request,
     pub(crate) enqueued_at: Instant,
+    /// Causal trace id minted at ingress (0 when the flight recorder was
+    /// disabled at submit time). Workers re-stamp their thread's trace
+    /// context from this id around every phase of the job's execution.
+    pub(crate) trace: u64,
     pub(crate) reply: Sender<Result<(Response, Option<u64>), TxKvError>>,
 }
 
@@ -170,12 +174,34 @@ impl<'a, S: TmSystem + ?Sized> WorkerEnv<'a, S> {
         }
     }
 
-    /// Answers `job`, recording end-to-end latency. The client may have
+    /// Answers `job`, recording end-to-end latency, emitting the
+    /// trace-closing `Reply` event, and offering the finished request to
+    /// the tail sampler. `force_sample` marks requests the sampler must
+    /// keep regardless of latency (retried, deferred, panicked) —
+    /// errored replies are always force-kept. The client may have
     /// dropped its PendingReply; that is not the worker's problem.
-    fn send_reply(&self, job: Job, reply: Result<(Response, Option<u64>), TxKvError>) {
-        self.stats
-            .latency
-            .record(job.enqueued_at.elapsed().as_nanos() as u64);
+    fn send_reply(
+        &self,
+        job: Job,
+        reply: Result<(Response, Option<u64>), TxKvError>,
+        force_sample: bool,
+    ) {
+        let latency_ns = job.enqueued_at.elapsed().as_nanos() as u64;
+        self.stats.latency.record(latency_ns);
+        if job.trace != 0 {
+            rococo_telemetry::set_current_trace(job.trace);
+            let outcome = match &reply {
+                Ok(_) => "ok",
+                Err(e) => e.label(),
+            };
+            rococo_telemetry::tlm_event!(rococo_telemetry::TxEvent::Reply { outcome });
+            rococo_telemetry::observe_request(
+                job.trace,
+                latency_ns,
+                force_sample || reply.is_err(),
+            );
+            rococo_telemetry::clear_current_trace();
+        }
         let _ = job.reply.send(reply);
     }
 
@@ -197,8 +223,10 @@ impl<'a, S: TmSystem + ?Sized> WorkerEnv<'a, S> {
     /// backend's `begin` may escalate to the exclusive commit gate, which
     /// would deadlock against this worker's own read guards.
     fn run_sync(&self, rng: &mut u64, job: Job, prior_attempts: u32) {
-        // Re-tag: another job's transaction may have run on this thread
-        // since the asynchronous attempt.
+        // Re-attribute this thread's events to the job (another job's
+        // transaction may have run on this thread since the
+        // asynchronous attempt) and re-tag its scheduling class.
+        rococo_telemetry::set_current_trace(job.trace);
         self.system.set_tx_class(self.thread_id, job.req.class());
         let mut writes: Vec<(u64, u64)> = Vec::new();
         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -217,7 +245,10 @@ impl<'a, S: TmSystem + ?Sized> WorkerEnv<'a, S> {
                     Ordering::Relaxed,
                 );
                 let reply = self.committed_reply(resp, seq, &mut writes);
-                self.send_reply(job, reply);
+                // A request that needed more than one attempt is tail
+                // material even if it eventually committed fast.
+                let retried = prior_attempts > 0 || attempts > 1;
+                self.send_reply(job, reply, retried);
             }
             Ok(Err((abort, attempts))) => {
                 self.stats.failed.fetch_add(1, Ordering::Relaxed);
@@ -231,11 +262,12 @@ impl<'a, S: TmSystem + ?Sized> WorkerEnv<'a, S> {
                         attempts: attempts + prior_attempts,
                         last: abort.kind,
                     }),
+                    true,
                 );
             }
             Err(_panic) => {
                 self.note_panic();
-                self.send_reply(job, Err(TxKvError::Internal));
+                self.send_reply(job, Err(TxKvError::Internal), true);
             }
         }
     }
@@ -256,10 +288,14 @@ impl<'a, S: TmSystem + ?Sized> WorkerEnv<'a, S> {
                 resp,
                 mut writes,
             } = f;
+            // The verdict/commit events for this pending must be
+            // attributed to *its* request, not whichever job this
+            // thread processed last.
+            rococo_telemetry::set_current_trace(job.trace);
             match catch_unwind(AssertUnwindSafe(|| finish_submitted(self.system, pending))) {
                 Ok(Ok(seq)) => {
                     let reply = self.committed_reply(resp, seq, &mut writes);
-                    self.send_reply(job, reply);
+                    self.send_reply(job, reply, false);
                 }
                 Ok(Err(abort)) => {
                     self.stats.record_abort(abort.kind);
@@ -267,7 +303,7 @@ impl<'a, S: TmSystem + ?Sized> WorkerEnv<'a, S> {
                 }
                 Err(_panic) => {
                     self.note_panic();
-                    self.send_reply(job, Err(TxKvError::Internal));
+                    self.send_reply(job, Err(TxKvError::Internal), true);
                 }
             }
         }
@@ -340,6 +376,15 @@ pub(crate) fn run_worker<S: TmSystem + ?Sized>(ctx: WorkerCtx<S>) {
 
         let pause_guard = pause.read();
         for job in batch.drain(..) {
+            // Stamp this thread's trace context from the job so every
+            // downstream event (route, begin, validate, verdict,
+            // commit, WAL ack) is attributed to the request's chain.
+            rococo_telemetry::set_current_trace(job.trace);
+            if job.trace != 0 {
+                rococo_telemetry::tlm_event!(rococo_telemetry::TxEvent::Dequeue {
+                    wait_ns: job.enqueued_at.elapsed().as_nanos() as u64,
+                });
+            }
             // Tag the transaction with the op-type scheduling class
             // before it begins — a no-op on non-routing backends, the
             // router's footprint-prediction key on the hybrid.
@@ -367,10 +412,15 @@ pub(crate) fn run_worker<S: TmSystem + ?Sized>(ctx: WorkerCtx<S>) {
                     // deadlock against our own read guards.
                     stats.deferred.fetch_add(1, Ordering::Relaxed);
                     env.drain(&mut rng, &mut inflight);
+                    // The drain re-stamped the trace context for its own
+                    // jobs; restore this job's before its commit.
+                    rococo_telemetry::set_current_trace(job.trace);
                     match catch_unwind(AssertUnwindSafe(|| commit_deferred(env.system, tx))) {
                         Ok(Ok(seq)) => {
                             let reply = env.committed_reply(resp, seq, &mut writes);
-                            env.send_reply(job, reply);
+                            // Deferred commits mark escalation or gate
+                            // contention: always tail-sample them.
+                            env.send_reply(job, reply, true);
                         }
                         Ok(Err(abort)) => {
                             stats.record_abort(abort.kind);
@@ -378,7 +428,7 @@ pub(crate) fn run_worker<S: TmSystem + ?Sized>(ctx: WorkerCtx<S>) {
                         }
                         Err(_panic) => {
                             env.note_panic();
-                            env.send_reply(job, Err(TxKvError::Internal));
+                            env.send_reply(job, Err(TxKvError::Internal), true);
                         }
                     }
                 }
@@ -389,7 +439,7 @@ pub(crate) fn run_worker<S: TmSystem + ?Sized>(ctx: WorkerCtx<S>) {
                 }
                 Err(_panic) => {
                     env.note_panic();
-                    env.send_reply(job, Err(TxKvError::Internal));
+                    env.send_reply(job, Err(TxKvError::Internal), true);
                 }
             }
         }

@@ -31,20 +31,39 @@
 //! The [`json`] module is a minimal JSON escape/parse helper used by the
 //! renderers and by the artifact schema tests; it exists because the
 //! vendored `serde` shim is declaration-only and serializes nothing.
+//!
+//! On top of the recorder sit the causal-tracing pieces: every
+//! [`EventRecord`] carries the emitting thread's current *trace id*
+//! (minted per request at TxKV ingress, stamped via
+//! [`set_current_trace`]), the [`sampler`] keeps full event chains only
+//! for tail-latency and failed requests, and [`attr`] decomposes a
+//! sampled chain's end-to-end latency into critical-path stages. The
+//! [`quantile`] module is the one shared implementation of
+//! nearest-rank percentile selection used by every latency surface in
+//! the workspace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attr;
 pub mod json;
+pub mod quantile;
 pub mod recorder;
 pub mod registry;
+pub mod sampler;
 pub mod trace;
 
+pub use attr::{aggregate_shares, attribute, check_chain, group_chains, Attribution, STAGES};
 pub use recorder::{
-    disable, drain_events, dump_anomaly, emit, enable, enabled, flush_thread, lane_names,
-    take_dumps, AnomalyDump, EventRecord, TxEvent, DEFAULT_RING_EVENTS,
+    clear_current_trace, current_trace, disable, drain_events, dump_anomaly, emit, enable, enabled,
+    flush_thread, lane_names, mint_trace, set_current_trace, take_dumps, AnomalyDump, EventRecord,
+    TxEvent, DEFAULT_RING_EVENTS,
 };
 pub use registry::{validate_prometheus, HistogramPoints, MetricsRegistry};
+pub use sampler::{
+    filter_sampled, observe_request, sampled_traces, sampler_observed, sampler_reset,
+    DEFAULT_TAIL_K,
+};
 pub use trace::{build_tx_trace, Arg, TraceBuilder, DETECTOR_TID, FPGA_PID, MANAGER_TID, TX_PID};
 
 /// Emits a flight-recorder event if the recorder is enabled.

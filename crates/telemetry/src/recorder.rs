@@ -24,8 +24,8 @@
 //! When the recorder is disabled ([`enabled`] is false) every
 //! instrumentation point costs one relaxed atomic load and a branch.
 
-use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -36,6 +36,26 @@ pub const DEFAULT_RING_EVENTS: usize = 4096;
 /// only scalars and `&'static str` labels so recording never allocates.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TxEvent {
+    /// A request entered the TxKV service and was assigned to a shard
+    /// queue. Emitted on the *client* thread, under the freshly minted
+    /// trace id.
+    Ingress {
+        /// Destination shard index.
+        shard: u32,
+        /// The request's scheduling class.
+        class: u32,
+    },
+    /// A shard worker dequeued the request and started processing it.
+    Dequeue {
+        /// Time the request spent waiting in the shard queue, ns.
+        wait_ns: u64,
+    },
+    /// The worker finished the request and sent the reply.
+    Reply {
+        /// `"ok"` for success, otherwise the error label (`"shed"`,
+        /// `"aborted"`, ...).
+        outcome: &'static str,
+    },
     /// A transaction attempt began. Bumps the lane's attempt counter.
     Begin,
     /// The attempt's read set grew to `len` addresses (sampled at powers
@@ -165,6 +185,9 @@ impl TxEvent {
     /// Short stable name for rendering and tests.
     pub fn name(&self) -> &'static str {
         match self {
+            TxEvent::Ingress { .. } => "ingress",
+            TxEvent::Dequeue { .. } => "dequeue",
+            TxEvent::Reply { .. } => "reply",
             TxEvent::Begin => "begin",
             TxEvent::ReadSet { .. } => "read-set",
             TxEvent::WriteSet { .. } => "write-set",
@@ -197,6 +220,11 @@ pub struct EventRecord {
     pub lane: u32,
     /// Per-lane transaction attempt number (bumped by [`TxEvent::Begin`]).
     pub attempt: u64,
+    /// Causal trace id of the request this event belongs to, captured
+    /// from the emitting thread's trace context at emission time. 0
+    /// means "no request context" (infrastructure events such as WAL
+    /// fsyncs or replication batches, or tracing disabled).
+    pub trace: u64,
     /// The event.
     pub event: TxEvent,
 }
@@ -243,6 +271,7 @@ impl AnomalyDump {
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static GENERATION: AtomicU32 = AtomicU32::new(0);
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
 static RING_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_RING_EVENTS);
 static NEXT_LANE: AtomicU32 = AtomicU32::new(0);
 static EPOCH: OnceLock<Instant> = OnceLock::new();
@@ -263,6 +292,44 @@ struct Lane {
 
 thread_local! {
     static LANE: RefCell<Option<Lane>> = const { RefCell::new(None) };
+    /// The request trace id events on this thread are currently
+    /// attributed to. Plain per-thread state, not part of any atomic
+    /// closure, so setting it is re-execution-safe: re-running an
+    /// attempt re-stamps the same id.
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Mints a fresh non-zero trace id. Called once per request at TxKV
+/// ingress; ids are process-global and never reused within a run.
+#[inline]
+pub fn mint_trace() -> u64 {
+    NEXT_TRACE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Sets the calling thread's trace context: subsequent events emitted on
+/// this thread carry `trace` until [`clear_current_trace`] or the next
+/// `set_current_trace`. Idempotent, so calling it again for the same
+/// request (e.g. before a re-executed attempt) is harmless.
+#[inline]
+pub fn set_current_trace(trace: u64) {
+    CURRENT_TRACE.with(|t| t.set(trace));
+}
+
+/// Clears the calling thread's trace context; subsequent events carry
+/// trace 0 (no request attribution).
+#[inline]
+pub fn clear_current_trace() {
+    CURRENT_TRACE.with(|t| t.set(0));
+}
+
+/// The calling thread's current trace context (0 when unset).
+// `Cell::get` is passed as a path, not called as `.get(..)`: the
+// lint's name-based blocking propagation would otherwise conflate this
+// accessor with blocking `get`s elsewhere in the workspace and taint
+// every `Lane::push` call site.
+#[inline]
+pub fn current_trace() -> u64 {
+    CURRENT_TRACE.with(Cell::get)
 }
 
 impl Lane {
@@ -309,6 +376,7 @@ impl Lane {
             ns: now_ns(),
             lane: self.id,
             attempt: self.attempt,
+            trace: current_trace(),
             event,
         };
         if self.buf.len() < self.cap {
@@ -554,6 +622,74 @@ mod tests {
         assert_eq!(d.events.len(), 4);
         assert_eq!(d.events[3].attempt, 2);
         assert!(d.to_text().contains("test-escalation"));
+    }
+
+    #[test]
+    fn trace_context_stamps_events() {
+        let _g = serial();
+        enable(64);
+        let t = mint_trace();
+        assert_ne!(t, 0);
+        set_current_trace(t);
+        emit(TxEvent::Begin);
+        emit(TxEvent::Commit { seq: 1 });
+        clear_current_trace();
+        emit(TxEvent::WalFsync { records: 1, ns: 10 });
+        let events = drain_events();
+        disable();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].trace, t);
+        assert_eq!(events[1].trace, t);
+        assert_eq!(events[2].trace, 0);
+    }
+
+    #[test]
+    fn ring_wraparound_does_not_leak_across_generation_bump() {
+        let _g = serial();
+        // First generation: wrap the ring several times over so head is
+        // mid-buffer and `dropped` is non-zero when the recorder stops.
+        enable(16);
+        for i in 0..50 {
+            emit(TxEvent::Commit { seq: i });
+        }
+        LANE.with(|l| {
+            let mut slot = l.borrow_mut();
+            let lane = slot.as_mut().unwrap();
+            lane.refresh();
+            assert_eq!(lane.buf.len(), 16);
+            assert!(lane.dropped > 0);
+            assert_ne!(lane.head, 0, "wrap must leave head mid-buffer");
+        });
+        disable();
+        // Second generation: the stale wrapped ring must be discarded on
+        // the lane's next emission, not rotated into the new export.
+        enable(16);
+        emit(TxEvent::Begin);
+        emit(TxEvent::Commit { seq: 1000 });
+        LANE.with(|l| {
+            let mut slot = l.borrow_mut();
+            let lane = slot.as_mut().unwrap();
+            assert_eq!(lane.head, 0, "generation bump must reset head");
+            assert_eq!(lane.dropped, 0, "generation bump must reset drops");
+        });
+        let events = drain_events();
+        disable();
+        assert_eq!(events.len(), 2, "stale-generation events leaked");
+        assert_eq!(events[0].event, TxEvent::Begin);
+        assert_eq!(events[0].attempt, 1, "attempt counter must restart");
+        assert_eq!(events[1].event, TxEvent::Commit { seq: 1000 });
+        // Wrap the new generation's ring too: survivors must all be
+        // post-bump events.
+        enable(16);
+        for i in 0..40 {
+            emit(TxEvent::Commit { seq: 2000 + i });
+        }
+        let events = drain_events();
+        disable();
+        assert_eq!(events.len(), 16);
+        assert!(events
+            .iter()
+            .all(|e| matches!(e.event, TxEvent::Commit { seq } if seq >= 2000)));
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Tail-based trace sampling.
+//!
+//! Recording every request's full event chain is cheap (the flight
+//! recorder's rings are bounded) but *exporting* and analysing every
+//! chain is not, and the chains that matter for latency work are the
+//! slow ones. The tail sampler decides — once per request, at reply
+//! time, after the total latency is known — whether that request's
+//! chain is worth keeping:
+//!
+//! * requests are bucketed by `log2(latency)`; each bucket keeps the
+//!   slowest `k` requests seen (a min-heap-style reservoir), so the
+//!   export always contains the tail of every latency regime, not just
+//!   the global maximum;
+//! * requests that aborted, escalated, or were shed are force-kept
+//!   (up to a generous cap) regardless of latency — failures are always
+//!   worth explaining.
+//!
+//! The per-request fast path is lock-free: one relaxed counter bump and
+//! one relaxed load of the request's bucket *threshold* (the bucket's
+//! current k-th slowest latency). Only a request that beats its
+//! bucket's tail — which becomes vanishingly rare once reservoirs warm
+//! up, because thresholds only ratchet upward — or a force-kept failure
+//! takes the mutex. That keeps always-on overhead inside the flight
+//! recorder's noise bar even at full closed-loop throughput.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::recorder::EventRecord;
+
+/// Number of `log2(latency_ns)` buckets. 64 covers every possible u64
+/// latency.
+const BUCKETS: usize = 64;
+
+/// Cap on force-kept (aborted/escalated/shed) traces, to bound memory on
+/// pathological runs. Overflow is counted, not silently ignored.
+const FORCED_CAP: usize = 1 << 16;
+
+/// Default slowest-k reservoir size per latency bucket.
+pub const DEFAULT_TAIL_K: usize = 8;
+
+struct SamplerState {
+    /// Slowest-k reservoir per log2 bucket: `(latency_ns, trace)` pairs,
+    /// unordered; the minimum is evicted on overflow.
+    buckets: Vec<Vec<(u64, u64)>>,
+    k: usize,
+    forced: Vec<u64>,
+    forced_overflow: u64,
+}
+
+impl SamplerState {
+    const fn new() -> Self {
+        Self {
+            buckets: Vec::new(),
+            k: DEFAULT_TAIL_K,
+            forced: Vec::new(),
+            forced_overflow: 0,
+        }
+    }
+}
+
+static SAMPLER: Mutex<SamplerState> = Mutex::new(SamplerState::new());
+
+/// Requests offered since the last reset, bumped outside the lock.
+static OBSERVED: AtomicU64 = AtomicU64::new(0);
+
+/// Per-bucket admission threshold: the bucket's k-th slowest latency
+/// once its reservoir is full, 0 before that. Read on the lock-free
+/// fast path; only written under the `SAMPLER` lock, so it ratchets
+/// monotonically between resets — a stale read can only cause a
+/// harmless extra lock acquisition, never a missed keepable request.
+static THRESHOLDS: [AtomicU64; BUCKETS] = [const { AtomicU64::new(0) }; BUCKETS];
+
+fn bucket_of(latency_ns: u64) -> usize {
+    (u64::BITS - latency_ns.leading_zeros()) as usize % BUCKETS
+}
+
+/// Resets the sampler and sets the slowest-k reservoir size per latency
+/// bucket (clamped to at least 1). Called alongside
+/// [`enable`](crate::enable) when tail-sampled tracing is wanted.
+pub fn sampler_reset(k: usize) {
+    if let Ok(mut s) = SAMPLER.lock() {
+        s.buckets = vec![Vec::new(); BUCKETS];
+        s.k = k.max(1);
+        s.forced.clear();
+        s.forced_overflow = 0;
+        // Reset thresholds while holding the lock so no concurrent slow
+        // path can ratchet a stale value back in after the clear.
+        for t in &THRESHOLDS {
+            t.store(0, Ordering::Relaxed);
+        }
+        OBSERVED.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Offers one finished request to the sampler. Called exactly once per
+/// request at reply time, when its end-to-end latency is known.
+/// `force_keep` marks requests that must be kept regardless of latency
+/// (aborted, escalated, shed). No-op for trace 0.
+pub fn observe_request(trace: u64, latency_ns: u64, force_keep: bool) {
+    if trace == 0 {
+        return;
+    }
+    OBSERVED.fetch_add(1, Ordering::Relaxed);
+    let b = bucket_of(latency_ns);
+    // Lock-free fast path: a request no slower than its bucket's k-th
+    // slowest cannot change the reservoir, so don't even try.
+    if !force_keep && latency_ns <= THRESHOLDS[b].load(Ordering::Relaxed) {
+        return;
+    }
+    let Ok(mut s) = SAMPLER.lock() else { return };
+    if s.buckets.is_empty() {
+        s.buckets = vec![Vec::new(); BUCKETS];
+    }
+    if force_keep {
+        if s.forced.len() < FORCED_CAP {
+            s.forced.push(trace);
+        } else {
+            s.forced_overflow += 1;
+        }
+        return;
+    }
+    let k = s.k;
+    let bucket = &mut s.buckets[b];
+    if bucket.len() < k {
+        bucket.push((latency_ns, trace));
+    } else {
+        // Evict the current minimum if this request is slower.
+        if let Some((min_idx, &(min_lat, _))) =
+            bucket.iter().enumerate().min_by_key(|&(_, &(lat, _))| lat)
+        {
+            if latency_ns > min_lat {
+                bucket[min_idx] = (latency_ns, trace);
+            }
+        }
+    }
+    if bucket.len() == k {
+        let new_min = bucket.iter().map(|&(lat, _)| lat).min().unwrap_or(0);
+        THRESHOLDS[b].store(new_min, Ordering::Relaxed);
+    }
+}
+
+/// The set of trace ids currently kept by the sampler (reservoir
+/// survivors plus force-kept failures).
+pub fn sampled_traces() -> HashSet<u64> {
+    let mut kept = HashSet::new();
+    if let Ok(s) = SAMPLER.lock() {
+        for b in &s.buckets {
+            kept.extend(b.iter().map(|&(_, t)| t));
+        }
+        kept.extend(s.forced.iter().copied());
+    }
+    kept
+}
+
+/// Total requests offered to the sampler since the last
+/// [`sampler_reset`].
+pub fn sampler_observed() -> u64 {
+    OBSERVED.load(Ordering::Relaxed)
+}
+
+/// Drops events whose trace was not sampled. Trace-0 events
+/// (infrastructure: WAL fsyncs, replication batches, faults) are always
+/// kept — they correlate with sampled chains by sequence number, not by
+/// trace id.
+pub fn filter_sampled(events: &mut Vec<EventRecord>, kept: &HashSet<u64>) {
+    events.retain(|e| e.trace == 0 || kept.contains(&e.trace));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::TxEvent;
+
+    /// Sampler state is process-global; serialise tests touching it.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn keeps_slowest_k_per_bucket() {
+        let _g = serial();
+        sampler_reset(2);
+        // Five requests in the same log2 bucket (1024..2047 ns).
+        for (trace, lat) in [(1u64, 1100u64), (2, 1500), (3, 1200), (4, 1900), (5, 1300)] {
+            observe_request(trace, lat, false);
+        }
+        let kept = sampled_traces();
+        assert_eq!(kept.len(), 2);
+        assert!(kept.contains(&2) && kept.contains(&4), "kept {kept:?}");
+        assert_eq!(sampler_observed(), 5);
+    }
+
+    #[test]
+    fn different_buckets_do_not_compete() {
+        let _g = serial();
+        sampler_reset(1);
+        observe_request(1, 100, false); // ~2^7 bucket
+        observe_request(2, 10_000, false); // ~2^14 bucket
+        observe_request(3, 10_000_000, false); // ~2^24 bucket
+        let kept = sampled_traces();
+        assert_eq!(kept.len(), 3);
+    }
+
+    #[test]
+    fn failures_are_force_kept() {
+        let _g = serial();
+        sampler_reset(1);
+        observe_request(1, 5000, false);
+        observe_request(2, 7000, false); // same log2 bucket: evicts 1
+        observe_request(3, 1, true); // fast but aborted: kept anyway
+        let kept = sampled_traces();
+        assert!(kept.contains(&2) && kept.contains(&3));
+        assert!(!kept.contains(&1));
+    }
+
+    #[test]
+    fn threshold_fast_path_skips_but_never_loses_keepable_requests() {
+        let _g = serial();
+        sampler_reset(2);
+        observe_request(1, 1100, false);
+        observe_request(2, 1500, false);
+        // Bucket full: the threshold is now 1100. An equal-or-slower-
+        // than-threshold request is skipped on the fast path...
+        observe_request(3, 1100, false);
+        assert!(!sampled_traces().contains(&3));
+        // ...but a slower one still displaces the reservoir minimum.
+        observe_request(4, 1300, false);
+        let kept = sampled_traces();
+        assert!(kept.contains(&2) && kept.contains(&4), "kept {kept:?}");
+        assert!(!kept.contains(&1));
+        assert_eq!(sampler_observed(), 4);
+    }
+
+    #[test]
+    fn trace_zero_is_ignored() {
+        let _g = serial();
+        sampler_reset(4);
+        observe_request(0, 1000, true);
+        assert_eq!(sampler_observed(), 0);
+        assert!(sampled_traces().is_empty());
+    }
+
+    #[test]
+    fn filter_keeps_infra_and_sampled_only() {
+        let _g = serial();
+        let mk = |trace, ns| EventRecord {
+            ns,
+            lane: 0,
+            attempt: 1,
+            trace,
+            event: TxEvent::Begin,
+        };
+        let mut events = vec![mk(7, 1), mk(8, 2), mk(0, 3)];
+        let kept: HashSet<u64> = [7].into_iter().collect();
+        filter_sampled(&mut events, &kept);
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().any(|e| e.trace == 7));
+        assert!(events.iter().any(|e| e.trace == 0));
+    }
+}

@@ -139,6 +139,21 @@ impl TraceBuilder {
         self.events.push(e);
     }
 
+    /// Adds a flow event (`"s"` start / `"t"` step / `"f"` finish).
+    /// Events sharing an `id` are linked by an arrow in the viewer,
+    /// which is how one request's spans are connected across worker
+    /// threads: the flow id is the request's trace id.
+    pub fn flow(&mut self, ph: char, name: &str, id: u64, pid: u32, tid: u32, ts_us: f64) {
+        debug_assert!(matches!(ph, 's' | 't' | 'f'));
+        let bp = if ph == 'f' { ",\"bp\":\"e\"" } else { "" };
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"flow\",\"ph\":\"{ph}\",\"id\":{id},\"pid\":{pid},\
+             \"tid\":{tid},\"ts\":{ts}{bp}}}",
+            escape(name),
+            ts = fmt_us(ts_us),
+        ));
+    }
+
     /// Names a process track.
     pub fn process_name(&mut self, pid: u32, name: &str) {
         self.events.push(format!(
@@ -243,6 +258,49 @@ pub fn build_tx_trace(events: &[EventRecord], lanes: &[(u32, String)]) -> String
         for e in events.iter().filter(|e| e.lane == lane) {
             let ts = e.ns as f64 / 1000.0;
             match e.event {
+                TxEvent::Ingress { shard, class } => {
+                    tb.instant(
+                        "ingress",
+                        "trace",
+                        TX_PID,
+                        lane,
+                        ts,
+                        &[
+                            ("trace", e.trace.into()),
+                            ("shard", shard.into()),
+                            ("class", class.into()),
+                        ],
+                    );
+                    if e.trace != 0 {
+                        tb.flow('s', "req", e.trace, TX_PID, lane, ts);
+                    }
+                }
+                TxEvent::Dequeue { wait_ns } => {
+                    tb.instant(
+                        "dequeue",
+                        "trace",
+                        TX_PID,
+                        lane,
+                        ts,
+                        &[("trace", e.trace.into()), ("wait_ns", wait_ns.into())],
+                    );
+                    if e.trace != 0 {
+                        tb.flow('t', "req", e.trace, TX_PID, lane, ts);
+                    }
+                }
+                TxEvent::Reply { outcome } => {
+                    tb.instant(
+                        "reply",
+                        "trace",
+                        TX_PID,
+                        lane,
+                        ts,
+                        &[("trace", e.trace.into()), ("outcome", outcome.into())],
+                    );
+                    if e.trace != 0 {
+                        tb.flow('f', "req", e.trace, TX_PID, lane, ts);
+                    }
+                }
                 TxEvent::Begin => {
                     begin_ns = Some(e.ns);
                     submit_ns = None;
@@ -471,6 +529,7 @@ mod tests {
             ns,
             lane,
             attempt,
+            trace: 0,
             event,
         }
     }
@@ -571,6 +630,40 @@ mod tests {
         assert_eq!(spans(&doc, "tx").len(), 2);
         assert_eq!(spans(&doc, "backoff").len(), 1);
         assert_eq!(spans(&doc, "wal-append").len(), 1);
+    }
+
+    #[test]
+    fn flow_events_link_request_across_lanes() {
+        let mut events = vec![
+            rec(100, 0, 0, TxEvent::Ingress { shard: 1, class: 0 }),
+            rec(500, 3, 0, TxEvent::Dequeue { wait_ns: 400 }),
+            rec(900, 3, 0, TxEvent::Reply { outcome: "ok" }),
+        ];
+        for e in &mut events {
+            e.trace = 9;
+        }
+        let doc = Json::parse(&build_tx_trace(&events, &[])).unwrap();
+        let flows: Vec<(String, f64)> = doc
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("flow"))
+            .map(|e| {
+                (
+                    e.get("ph").unwrap().as_str().unwrap().to_string(),
+                    e.get("id").unwrap().as_f64().unwrap(),
+                )
+            })
+            .collect();
+        let phases: Vec<&str> = flows.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(phases, ["s", "t", "f"]);
+        assert!(flows.iter().all(|&(_, id)| id == 9.0));
+        // The ingress/dequeue/reply instants render too.
+        assert_eq!(spans(&doc, "ingress").len(), 1);
+        assert_eq!(spans(&doc, "dequeue").len(), 1);
+        assert_eq!(spans(&doc, "reply").len(), 1);
     }
 
     #[test]

@@ -107,18 +107,11 @@ impl Pow2Snapshot {
     /// Upper bound of the bucket holding quantile `q` in `0.0..=1.0` —
     /// a conservative (over-)estimate of the quantile. 0 when empty.
     pub fn quantile_upper(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
+        match rococo_telemetry::quantile::bucket_index(&self.buckets, self.count, q) {
+            None => 0,
+            Some(0) => 0,
+            Some(i) => 1u64 << i,
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return if i == 0 { 0 } else { 1u64 << i };
-            }
-        }
-        1u64 << (BUCKETS - 1)
     }
 }
 
